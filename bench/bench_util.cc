@@ -1,0 +1,90 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace semtag::bench {
+
+void BenchSetup(const std::string& title, const std::string& paper_ref) {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("(synthetic stand-in datasets, scaled per DESIGN.md; compare "
+              "shapes, not absolute values)\n\n");
+  std::fflush(stdout);
+}
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::string line;
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      std::string cell = rows_[r][c];
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < rows_[r].size()) line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string rule;
+      for (size_t c = 0; c < widths.size(); ++c) {
+        rule += std::string(widths[c], '-');
+        if (c + 1 < widths.size()) rule += "  ";
+      }
+      std::printf("%s\n", rule.c_str());
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string Fmt(double value, int decimals) {
+  return StrFormat("%.*f", decimals, value);
+}
+
+std::string VsPaper(double measured, double paper) {
+  return StrFormat("%.2f (paper %.2f)", measured, paper);
+}
+
+std::vector<data::DatasetSpec> SpecsInCategory(
+    core::DatasetCategory category) {
+  std::vector<data::DatasetSpec> out;
+  for (const auto& spec : data::AllDatasetSpecs()) {
+    if (core::CategorizeSpec(spec) == category) out.push_back(spec);
+  }
+  return out;
+}
+
+std::vector<data::DatasetSpec> HighRatioSpecs() {
+  std::vector<data::DatasetSpec> out;
+  for (const auto& spec : data::AllDatasetSpecs()) {
+    if (data::IsHighRatio(spec)) out.push_back(spec);
+  }
+  return out;
+}
+
+std::vector<data::DatasetSpec> LowRatioSpecs() {
+  std::vector<data::DatasetSpec> out;
+  for (const auto& spec : data::AllDatasetSpecs()) {
+    if (!data::IsHighRatio(spec)) out.push_back(spec);
+  }
+  return out;
+}
+
+}  // namespace semtag::bench

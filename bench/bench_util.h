@@ -1,0 +1,45 @@
+#ifndef SEMTAG_BENCH_BENCH_UTIL_H_
+#define SEMTAG_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/taxonomy.h"
+
+namespace semtag::bench {
+
+/// Standard bench preamble: quiets INFO logging (keeps tables clean) and
+/// prints the header naming the experiment being reproduced.
+void BenchSetup(const std::string& title, const std::string& paper_ref);
+
+/// Fixed-width table printer. Add a header row then data rows; Print emits
+/// an aligned plain-text table to stdout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void Print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "0.83" style fixed formatting for metric cells.
+std::string Fmt(double value, int decimals = 2);
+
+/// "measured (paper X)" cell used throughout EXPERIMENTS.md-facing output.
+std::string VsPaper(double measured, double paper);
+
+/// Specs grouped per category in Table 5 row order.
+std::vector<data::DatasetSpec> SpecsInCategory(
+    core::DatasetCategory category);
+
+/// Specs partitioned by ratio as Figures 1/2 do: high (>= 25%) first.
+std::vector<data::DatasetSpec> HighRatioSpecs();
+std::vector<data::DatasetSpec> LowRatioSpecs();
+
+}  // namespace semtag::bench
+
+#endif  // SEMTAG_BENCH_BENCH_UTIL_H_

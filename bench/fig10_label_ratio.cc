@@ -1,0 +1,75 @@
+// Reproduces Figure 10: F1 of LR, SVM, BERT on the four large datasets,
+// resampled to positive ratios 10%..90% (Section 6.2.2's protocol: sample
+// a fixed-size set at each ratio, split 80/20). The paper: F1 rises with
+// the ratio, steeply below 25%, and the BERT-vs-simple gap narrows as the
+// ratio grows.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "data/sampling.h"
+#include "data/specs.h"
+
+namespace semtag {
+namespace {
+
+constexpr size_t kSampleSize = 6000;  // the paper uses 100K, scaled down
+
+void RatioSweep(core::ExperimentRunner* runner,
+                const data::DatasetSpec& spec) {
+  std::printf("Figure 10 (%s): F1 vs positive-label ratio\n\n",
+              spec.name.c_str());
+  // Pool with enough positives that even the 90% ratio samples without
+  // replacement (duplicated records would leak across the train/test
+  // split and inflate F1).
+  const int pool_size = static_cast<int>(
+      std::max<double>(kSampleSize * 2,
+                       kSampleSize * 0.92 / spec.paper_positive));
+  data::Dataset pool = data::BuildDatasetPool(spec, pool_size);
+  Rng rng(spec.generator.seed ^ 0xa10);
+
+  bench::Table table({"ratio", "LR", "SVM", "BERT", "BERT-LR gap"});
+  for (double ratio : {0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
+    data::Dataset sampled =
+        data::SampleWithRatio(pool, kSampleSize, ratio, &rng);
+    auto [train, test] = sampled.Split(0.8);
+    std::vector<std::string> row = {bench::Fmt(ratio, 1)};
+    double lr_f1 = 0.0, bert_f1 = 0.0;
+    for (auto kind : {models::ModelKind::kLr, models::ModelKind::kSvm,
+                      models::ModelKind::kBert}) {
+      const auto result = runner->RunOn(
+          StrFormat("fig10v2|%s|%s|r%.2f", spec.name.c_str(),
+                    core::SpecConfigDigest(spec).c_str(), ratio),
+          train, test, kind);
+      row.push_back(bench::Fmt(result.f1));
+      if (kind == models::ModelKind::kLr) lr_f1 = result.f1;
+      if (kind == models::ModelKind::kBert) bert_f1 = result.f1;
+    }
+    row.push_back(StrFormat("%+.2f", bert_f1 - lr_f1));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+int Main() {
+  bench::BenchSetup("Figure 10 - effect of the positive-label ratio",
+                    "Li et al., VLDB 2020, Section 6.2.2, Figure 10");
+  core::ExperimentRunner runner;
+  for (const char* name : {"AMAZON", "YELP", "FUNNY", "BOOK"}) {
+    RatioSweep(&runner, *data::FindSpec(name));
+  }
+  std::printf(
+      "Expected shape: F1 rises with the ratio on all four datasets, with "
+      "the largest improvements below 25%%; gains are stronger on the "
+      "dirty datasets (FUNNY/BOOK); the BERT-simple gap narrows as the "
+      "ratio grows.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

@@ -1,0 +1,41 @@
+// Reproduces Figure 11: the heat map of BERT and SVM F1 over all 21
+// datasets together with each dataset's size / ratio / cleanliness — the
+// study's model-selection reference card.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/advisor.h"
+
+namespace semtag {
+namespace {
+
+int Main() {
+  bench::BenchSetup("Figure 11 - heat map of BERT and SVM F1",
+                    "Li et al., VLDB 2020, Section 6.3 / Figure 11");
+  core::ExperimentRunner runner;
+  const auto rows = core::BuildHeatMap(&runner);
+
+  bench::Table table({"Dataset", "Size", "Ratio", "Quality",
+                      "BERT F1 (paper)", "SVM F1 (paper)"});
+  for (const auto& row : rows) {
+    const auto spec = *data::FindSpec(row.dataset);
+    table.AddRow({row.dataset, WithCommas(row.paper_records),
+                  bench::Fmt(row.ratio), row.clean ? "clean" : "dirty",
+                  bench::VsPaper(row.bert_f1, spec.paper_f1_bert),
+                  bench::VsPaper(row.svm_f1, spec.paper_f1_svm)});
+  }
+  table.Print();
+
+  std::printf("Colored heat map (blue = low F1, red = high, midpoint %.2f "
+              "as in the paper):\n\n",
+              0.53);
+  std::printf("%s\n", core::RenderHeatMap(rows, /*color=*/true).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

@@ -1,0 +1,61 @@
+// Reproduces appendix Figure 13: repeat LR, SVM and BERT on FUNNY and BOOK
+// with 3 random seeds, report mean +/- SD, and test LR-vs-BERT and
+// SVM-vs-BERT differences with Welch's t test (the paper used GraphPad's
+// Student t test, n = 3).
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "eval/stats.h"
+
+namespace semtag {
+namespace {
+
+constexpr int kRepetitions = 3;
+
+int Main() {
+  bench::BenchSetup("Figure 13 - randomness and statistical significance",
+                    "Li et al., VLDB 2020, appendix 'Effect of Randomness'");
+  core::ExperimentRunner runner;
+
+  for (const char* name : {"FUNNY", "BOOK"}) {
+    const auto spec = *data::FindSpec(name);
+    std::printf("%s (mean +/- SD over %d seeds; calibrated F1, as the "
+                "appendix compares calibrated models):\n\n",
+                name, kRepetitions);
+    std::map<std::string, std::vector<double>> f1s;
+    for (auto kind : {models::ModelKind::kLr, models::ModelKind::kSvm,
+                      models::ModelKind::kBert}) {
+      for (uint64_t seed = 0; seed < kRepetitions; ++seed) {
+        const auto result = runner.Run(spec, kind, seed);
+        f1s[models::ModelKindName(kind)].push_back(result.calibrated_f1);
+      }
+    }
+    bench::Table table({"Model", "mean F1", "SD", "vs BERT (Welch)"});
+    for (const char* model : {"LR", "SVM", "BERT"}) {
+      const auto& xs = f1s[model];
+      std::string vs = "-";
+      if (std::string(model) != "BERT") {
+        const auto t = eval::WelchTTest(xs, f1s["BERT"]);
+        vs = StrFormat("t=%+.2f p=%.3f %s", t.t, t.p_value,
+                       t.Stars().c_str());
+      }
+      table.AddRow({model, bench::Fmt(eval::Mean(xs), 3),
+                    bench::Fmt(eval::StdDev(xs), 3), vs});
+    }
+    table.Print();
+  }
+  std::printf(
+      "Expected shape: at least one simple model is statistically "
+      "comparable to or better than BERT on each of the two large dirty "
+      "datasets.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

@@ -1,0 +1,51 @@
+// Reproduces Figures 1 and 2: per-dataset F1 of the five representative
+// models (LR, SVM, CNN, LSTM, BERT), split into the high-ratio datasets
+// (Figure 1) and the low-ratio/imbalanced datasets (Figure 2).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+
+namespace semtag {
+namespace {
+
+void PrintGroup(core::ExperimentRunner* runner, const char* title,
+                const std::vector<data::DatasetSpec>& specs) {
+  std::printf("%s\n\n", title);
+  bench::Table table({"Dataset", "LR", "SVM", "CNN", "LSTM", "BERT",
+                      "best (paper best model)"});
+  for (const auto& spec : specs) {
+    std::vector<std::string> row = {spec.name};
+    double best = 0.0;
+    std::string best_model;
+    for (auto kind : models::RepresentativeModels()) {
+      const auto result = runner->Run(spec, kind);
+      row.push_back(bench::Fmt(result.f1));
+      if (result.f1 > best) {
+        best = result.f1;
+        best_model = result.model;
+      }
+    }
+    row.push_back(best_model + " (paper: BERT on 19 of 21)");
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+int Main() {
+  bench::BenchSetup(
+      "Figures 1-2 - per-dataset F1 of the five representative models",
+      "Li et al., VLDB 2020, Section 5.2.1, Figures 1 and 2");
+  core::ExperimentRunner runner;
+  PrintGroup(&runner, "Figure 1: datasets with >= 25% positive labels",
+             bench::HighRatioSpecs());
+  PrintGroup(&runner, "Figure 2: datasets with < 25% positive labels",
+             bench::LowRatioSpecs());
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

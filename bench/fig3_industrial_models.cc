@@ -1,0 +1,70 @@
+// Reproduces Figure 3 (and appendix Figures 16/17): the industrial models
+// - Naive Bayes and XGBoost vs LR/SVM, and ALBERT/ROBERTA vs BERT -
+// averaged over all 21 datasets. The paper's conclusion: LR/SVM are the
+// best simple representatives, BERT the best deep representative.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "eval/metrics.h"
+
+namespace semtag {
+namespace {
+
+double AverageF1(core::ExperimentRunner* runner, models::ModelKind kind) {
+  std::vector<double> f1s;
+  for (const auto& spec : data::AllDatasetSpecs()) {
+    f1s.push_back(runner->Run(spec, kind).f1);
+  }
+  return eval::MacroAverage(f1s);
+}
+
+int Main() {
+  bench::BenchSetup(
+      "Figure 3 / Figures 16-17 - industrial simple and deep models",
+      "Li et al., VLDB 2020, Section 5.2.1 'Other industrial models'");
+  core::ExperimentRunner runner;
+
+  std::printf("(a) simple models, average F1 over the 21 datasets "
+              "(paper: LR/SVM 0.65, NB 0.62, XGBoost 0.61)\n\n");
+  bench::Table simple({"Model", "avg F1 (paper)"});
+  {
+    std::vector<double> best_lr_svm;
+    for (const auto& spec : data::AllDatasetSpecs()) {
+      best_lr_svm.push_back(
+          std::max(runner.Run(spec, models::ModelKind::kLr).f1,
+                   runner.Run(spec, models::ModelKind::kSvm).f1));
+    }
+    simple.AddRow({"LR/SVM (best)",
+                   bench::VsPaper(eval::MacroAverage(best_lr_svm), 0.65)});
+  }
+  simple.AddRow({"NB", bench::VsPaper(AverageF1(&runner,
+                                                models::ModelKind::kNaiveBayes),
+                                      0.62)});
+  simple.AddRow({"XGB", bench::VsPaper(AverageF1(&runner,
+                                                 models::ModelKind::kXgboost),
+                                       0.61)});
+  simple.Print();
+
+  std::printf("(b) attention-based deep models, average F1 "
+              "(paper: BERT 0.73, ROBERTA 0.72, ALBERT 0.68)\n\n");
+  bench::Table deep({"Model", "avg F1 (paper)"});
+  deep.AddRow({"BERT", bench::VsPaper(
+                           AverageF1(&runner, models::ModelKind::kBert),
+                           0.73)});
+  deep.AddRow({"ROBERTA", bench::VsPaper(AverageF1(&runner,
+                                                   models::ModelKind::kRoberta),
+                                         0.72)});
+  deep.AddRow({"ALBERT", bench::VsPaper(AverageF1(&runner,
+                                                  models::ModelKind::kAlbert),
+                                        0.68)});
+  deep.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

@@ -1,0 +1,65 @@
+// Reproduces Figure 4: (a) macro-average F1 of each model over all 21
+// datasets and (b) average training time. The paper's headline: BERT wins
+// on F1 but deep models cost 30x-130x more training time than simple ones.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "eval/metrics.h"
+
+namespace semtag {
+namespace {
+
+int Main() {
+  bench::BenchSetup("Figure 4 - average F1 and training time trade-off",
+                    "Li et al., VLDB 2020, Section 5.2.3, Figure 4");
+  core::ExperimentRunner runner;
+
+  const double paper_f1[5] = {0.59, 0.60, 0.53, 0.55, 0.70};
+  bench::Table table({"Model", "avg F1 (paper approx)", "avg train time",
+                      "log10(seconds)"});
+  double simple_time = 0.0;
+  int simple_count = 0;
+  double deep_time = 0.0;
+  int deep_count = 0;
+  int m = 0;
+  for (auto kind : models::RepresentativeModels()) {
+    std::vector<double> f1s;
+    double total_time = 0.0;
+    for (const auto& spec : data::AllDatasetSpecs()) {
+      const auto result = runner.Run(spec, kind);
+      f1s.push_back(result.f1);
+      total_time += result.train_seconds;
+    }
+    const double avg_time = total_time / 21.0;
+    if (models::IsDeep(kind)) {
+      deep_time += avg_time;
+      ++deep_count;
+    } else {
+      simple_time += avg_time;
+      ++simple_count;
+    }
+    table.AddRow({models::ModelKindName(kind),
+                  bench::VsPaper(eval::MacroAverage(f1s), paper_f1[m]),
+                  HumanSeconds(avg_time),
+                  bench::Fmt(std::log10(std::max(avg_time, 1e-4)))});
+    ++m;
+  }
+  table.Print();
+
+  const double ratio =
+      (deep_time / deep_count) / std::max(simple_time / simple_count, 1e-9);
+  std::printf("Deep/simple average-training-time ratio: %.0fx "
+              "(paper: 30x-130x on GPU vs CPU; the asymmetry is "
+              "hardware-independent)\n",
+              ratio);
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

@@ -1,0 +1,55 @@
+// Reproduces Figure 5: BERT vs the published state-of-the-art on the 15
+// datasets with a SOTA reference. SOTA numbers are quoted constants (as in
+// the paper); our measured BERT is compared against the *paper's* BERT so
+// the win/loss pattern can be checked on the same footing.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "core/sota.h"
+
+namespace semtag {
+namespace {
+
+int Main() {
+  bench::BenchSetup("Figure 5 - BERT vs domain state-of-the-art",
+                    "Li et al., VLDB 2020, Section 5.3, Figure 5");
+  core::ExperimentRunner runner;
+
+  bench::Table table({"Dataset", "Metric", "SOTA (ref)", "paper BERT",
+                      "our BERT", "paper verdict", "our verdict"});
+  int agreements = 0;
+  for (const auto& ref : core::AllSotaReferences()) {
+    const auto spec = *data::FindSpec(ref.dataset);
+    const auto result = runner.Run(spec, models::ModelKind::kBert);
+    double measured = result.f1;
+    if (ref.metric == "Accuracy") measured = result.accuracy;
+    if (ref.metric == "AUC") measured = result.auc;
+    // Our verdict compares the measured BERT directly against the quoted
+    // SOTA constant; since our substrate is scaled down, disagreements on
+    // datasets where our absolute level differs are expected and noted in
+    // EXPERIMENTS.md.
+    const bool paper_bert_wins = ref.paper_bert >= ref.value;
+    const bool our_bert_wins = measured >= ref.value;
+    agreements += (paper_bert_wins == our_bert_wins);
+    table.AddRow({ref.dataset, ref.metric,
+                  StrFormat("%.2f%s", ref.value,
+                            ref.reconstructed ? " (reconstructed)" : ""),
+                  bench::Fmt(ref.paper_bert), bench::Fmt(measured),
+                  paper_bert_wins ? "BERT >= SOTA" : "SOTA wins",
+                  our_bert_wins ? "BERT >= SOTA" : "SOTA wins"});
+  }
+  table.Print();
+  std::printf(
+      "Verdict agreement: %d/15. The paper's takeaway: BERT is comparable "
+      "to or better than SOTA everywhere except SENT, FUNNY*, BOOK.\n",
+      agreements);
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

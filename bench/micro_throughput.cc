@@ -1,0 +1,140 @@
+// google-benchmark microbenchmarks of the pipeline's building blocks:
+// tokenization, BoW featurization, simple-model epochs, and deep-model
+// training steps. These quantify the per-record cost asymmetry behind
+// Figure 4(b)'s 30x-130x deep/simple training-time gap.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "data/generator.h"
+#include "data/specs.h"
+#include "models/deep/text_cnn.h"
+#include "models/deep/text_lstm.h"
+#include "models/simple/linear_svm.h"
+#include "models/simple/logistic_regression.h"
+#include "la/init.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "text/bow_vectorizer.h"
+
+namespace semtag {
+namespace {
+
+data::Dataset BenchDataset(int n) {
+  data::GeneratorConfig config;
+  config.bg_vocab = 2000;
+  config.signal_topic = 16;
+  config.positive_topics = {17, 18};
+  config.negative_topics = {19, 20};
+  config.seed = 99;
+  return data::GenerateDataset(data::SharedLanguage(), config, "bench", n,
+                               0.5);
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const data::Dataset d = BenchDataset(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::Tokenize(d[i % d.size()].text));
+    ++i;
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_BowTransform(benchmark::State& state) {
+  const data::Dataset d = BenchDataset(1024);
+  text::BowVectorizer vectorizer;
+  vectorizer.Fit(d.Texts());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vectorizer.Transform(d[i % d.size()].text));
+    ++i;
+  }
+}
+BENCHMARK(BM_BowTransform);
+
+void BM_BowFit(benchmark::State& state) {
+  const data::Dataset d = BenchDataset(static_cast<int>(state.range(0)));
+  const auto texts = d.Texts();
+  for (auto _ : state) {
+    text::BowVectorizer vectorizer;
+    vectorizer.Fit(texts);
+    benchmark::DoNotOptimize(vectorizer.num_features());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BowFit)->Arg(256)->Arg(1024)->Iterations(5);
+
+void BM_TrainLogisticRegression(benchmark::State& state) {
+  const data::Dataset d = BenchDataset(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    models::LogisticRegression model;
+    SEMTAG_CHECK(model.Train(d).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrainLogisticRegression)->Arg(512)->Arg(2048)->Iterations(3);
+
+void BM_TrainLinearSvm(benchmark::State& state) {
+  const data::Dataset d = BenchDataset(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    models::LinearSvm model;
+    SEMTAG_CHECK(model.Train(d).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrainLinearSvm)->Arg(512)->Arg(2048)->Iterations(3);
+
+void BM_TrainTextCnnEpoch(benchmark::State& state) {
+  const data::Dataset d = BenchDataset(256);
+  for (auto _ : state) {
+    models::CnnOptions options;
+    options.epochs = 1;
+    options.min_optimizer_steps = 8;  // exactly one pass over 256 records
+    models::TextCnn model(options);
+    SEMTAG_CHECK(model.Train(d).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_TrainTextCnnEpoch)->Iterations(1);
+
+void BM_TrainTextLstmEpoch(benchmark::State& state) {
+  const data::Dataset d = BenchDataset(256);
+  for (auto _ : state) {
+    models::LstmOptions options;
+    options.epochs = 1;
+    options.min_optimizer_steps = 8;  // exactly one pass over 256 records
+    models::TextLstm model(options);
+    SEMTAG_CHECK(model.Train(d).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_TrainTextLstmEpoch)->Iterations(1);
+
+void BM_TransformerLayerForwardBackward(benchmark::State& state) {
+  Rng rng(7);
+  nn::TransformerEncoderLayer layer(32, 4, 128, &rng);
+  la::Matrix x(20, 32);
+  la::GaussianInit(&x, &rng, 1.0f);
+  la::Matrix mask(20, 20);
+  std::vector<nn::Variable> params;
+  layer.CollectParameters(&params);
+  nn::Adam adam(params, 1e-3f);
+  for (auto _ : state) {
+    nn::Variable input(x, /*requires_grad=*/true);
+    nn::Variable out = layer.Forward(input, mask, 0.0, &rng, true);
+    nn::Backward(nn::SumToScalar(out));
+    adam.Step();
+  }
+}
+BENCHMARK(BM_TransformerLayerForwardBackward);
+
+}  // namespace
+}  // namespace semtag
+
+int main(int argc, char** argv) {
+  semtag::SetLogLevel(semtag::LogLevel::kWarning);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

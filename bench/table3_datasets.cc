@@ -1,0 +1,55 @@
+// Reproduces Table 3 (statistics of the 21 datasets) and Table 4 (the
+// dataset taxonomy). Statistics are computed from the generated synthetic
+// stand-ins and printed next to the paper's values for the real datasets.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/taxonomy.h"
+#include "data/specs.h"
+
+namespace semtag {
+namespace {
+
+int Main() {
+  bench::BenchSetup("Table 3 / Table 4 - dataset statistics and taxonomy",
+                    "Li et al., VLDB 2020, Section 4, Tables 3-4");
+
+  bench::Table table({"Dataset", "Application", "#Record (paper)",
+                      "%Positive (paper)", "Vocab (paper)", "Quality"});
+  for (const auto& spec : data::AllDatasetSpecs()) {
+    const data::Dataset dataset = data::BuildDataset(spec);
+    const data::DatasetStats stats = dataset.ComputeStats();
+    table.AddRow(
+        {spec.name, spec.application,
+         StrFormat("%s (%s)", WithCommas(stats.num_records).c_str(),
+                   WithCommas(spec.paper_records).c_str()),
+         StrFormat("%.1f%% (%.1f%%)", 100 * stats.positive_ratio,
+                   100 * spec.paper_positive),
+         StrFormat("%s (%s)", WithCommas(stats.vocab_size).c_str(),
+                   WithCommas(spec.paper_vocab).c_str()),
+         spec.dirty ? "dirty" : "clean"});
+  }
+  table.Print();
+
+  std::printf("Table 4 - dataset taxonomy (by the paper's thresholds: "
+              "large >= 100K records, high >= 25%% positive)\n\n");
+  bench::Table taxonomy({"Category", "Datasets"});
+  for (auto category : core::kCategoriesInTableOrder) {
+    std::string names;
+    for (const auto& spec : bench::SpecsInCategory(category)) {
+      if (!names.empty()) names += ", ";
+      names += spec.name;
+    }
+    taxonomy.AddRow({core::CategoryName(category), names});
+  }
+  taxonomy.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

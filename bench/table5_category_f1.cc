@@ -1,0 +1,82 @@
+// Reproduces Table 5 (macro-/micro-average F1 of LR, SVM, CNN, LSTM, BERT
+// per dataset category) and Table 9 (the micro-only appendix view), plus
+// the overall micro-average comparison of the appendix.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "eval/metrics.h"
+
+namespace semtag {
+namespace {
+
+// The paper's Table 5 values, [category][model], macro then micro.
+struct PaperCell {
+  double macro;
+  double micro;
+};
+const PaperCell kPaperTable5[4][5] = {
+    // LR, SVM, CNN, LSTM, BERT
+    {{0.85, 0.77}, {0.85, 0.76}, {0.80, 0.72}, {0.80, 0.72}, {0.87, 0.79}},
+    {{0.77, 0.73}, {0.76, 0.72}, {0.75, 0.70}, {0.75, 0.71}, {0.85, 0.82}},
+    {{0.52, 0.51}, {0.52, 0.51}, {0.49, 0.47}, {0.51, 0.49}, {0.68, 0.66}},
+    {{0.23, 0.20}, {0.27, 0.20}, {0.07, 0.06}, {0.12, 0.11}, {0.24, 0.19}},
+};
+
+int Main() {
+  bench::BenchSetup(
+      "Table 5 / Table 9 - category-average F1 of the five models",
+      "Li et al., VLDB 2020, Section 5.2, Tables 5 and 9");
+  core::ExperimentRunner runner;
+
+  bench::Table table({"Category", "LR", "SVM", "CNN", "LSTM", "BERT"});
+  for (int c = 0; c < 4; ++c) {
+    const auto category = core::kCategoriesInTableOrder[c];
+    const auto specs = bench::SpecsInCategory(category);
+    std::vector<std::string> row = {core::CategoryName(category)};
+    int m = 0;
+    for (auto kind : models::RepresentativeModels()) {
+      std::vector<double> f1s;
+      std::vector<int64_t> weights;
+      for (const auto& spec : specs) {
+        f1s.push_back(runner.Run(spec, kind).f1);
+        weights.push_back(spec.paper_records);
+      }
+      row.push_back(StrFormat(
+          "%.2f/%.2f (paper %.2f/%.2f)", eval::MacroAverage(f1s),
+          eval::MicroAverage(f1s, weights), kPaperTable5[c][m].macro,
+          kPaperTable5[c][m].micro));
+      ++m;
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf("Overall micro-average F1 across all 21 datasets (appendix: "
+              "LR 0.33, SVM 0.34, CNN 0.22, LSTM 0.25, BERT 0.33 - large "
+              "datasets dominate the weights):\n\n");
+  bench::Table overall({"Model", "micro-F1 (paper)"});
+  const double paper_micro[5] = {0.33, 0.34, 0.22, 0.25, 0.33};
+  int m = 0;
+  for (auto kind : models::RepresentativeModels()) {
+    std::vector<double> f1s;
+    std::vector<int64_t> weights;
+    for (const auto& spec : data::AllDatasetSpecs()) {
+      f1s.push_back(runner.Run(spec, kind).f1);
+      weights.push_back(spec.paper_records);
+    }
+    overall.AddRow({models::ModelKindName(kind),
+                    bench::VsPaper(eval::MicroAverage(f1s, weights),
+                                   paper_micro[m])});
+    ++m;
+  }
+  overall.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

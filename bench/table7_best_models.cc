@@ -1,0 +1,78 @@
+// Reproduces Table 7: per category, the best DEEP model (BERT) vs the best
+// SIMPLE model (best of LR/SVM) - average F1, the F1 gap, and average
+// training times. This is the paper's central "it depends on your data"
+// summary.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "eval/metrics.h"
+
+namespace semtag {
+namespace {
+
+struct PaperRow {
+  double deep_f1;
+  double simple_f1;
+  double gap;
+  double deep_time;
+  double simple_time;
+};
+// Table 7 rows in the paper's order: Small-L, Small-H, Large-L, Large-H.
+const PaperRow kPaper[] = {
+    {0.68, 0.52, 0.16, 308, 1},
+    {0.86, 0.78, 0.08, 324, 1},
+    {0.24, 0.27, -0.03, 308680, 3128},
+    {0.87, 0.85, 0.02, 14294, 318},
+};
+const core::DatasetCategory kOrder[] = {
+    core::DatasetCategory::kSmallL, core::DatasetCategory::kSmallH,
+    core::DatasetCategory::kLargeL, core::DatasetCategory::kLargeH};
+
+int Main() {
+  bench::BenchSetup("Table 7 - best DEEP vs best SIMPLE by dataset type",
+                    "Li et al., VLDB 2020, Section 6.1, Table 7");
+  core::ExperimentRunner runner;
+
+  bench::Table table({"Datasets", "DEEP F1", "SIMPLE F1", "gap (paper)",
+                      "DEEP time", "SIMPLE time"});
+  for (int c = 0; c < 4; ++c) {
+    const auto specs = bench::SpecsInCategory(kOrder[c]);
+    std::vector<double> deep_f1s, simple_f1s;
+    double deep_time = 0.0, simple_time = 0.0;
+    for (const auto& spec : specs) {
+      const auto bert = runner.Run(spec, models::ModelKind::kBert);
+      const auto lr = runner.Run(spec, models::ModelKind::kLr);
+      const auto svm = runner.Run(spec, models::ModelKind::kSvm);
+      deep_f1s.push_back(bert.f1);
+      simple_f1s.push_back(std::max(lr.f1, svm.f1));
+      deep_time += bert.train_seconds;
+      simple_time +=
+          lr.f1 >= svm.f1 ? lr.train_seconds : svm.train_seconds;
+    }
+    const double deep = eval::MacroAverage(deep_f1s);
+    const double simple = eval::MacroAverage(simple_f1s);
+    table.AddRow(
+        {core::CategoryName(kOrder[c]),
+         bench::VsPaper(deep, kPaper[c].deep_f1),
+         bench::VsPaper(simple, kPaper[c].simple_f1),
+         StrFormat("%+.2f (paper %+.2f)", deep - simple, kPaper[c].gap),
+         HumanSeconds(deep_time / specs.size()),
+         HumanSeconds(simple_time / specs.size())});
+  }
+  table.Print();
+
+  std::printf(
+      "Expected shape: DEEP wins clearly on Small-L/Small-H, roughly ties "
+      "on Large-H, and loses (or ties) on Large-L while costing orders of "
+      "magnitude more training time.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

@@ -1,0 +1,46 @@
+// Reproduces Table 8: the top-5 informative tokens (largest P-N, the
+// class-conditional occurrence gap) on AMAZON, YELP, FUNNY*, BOOK*. The
+// paper's observation: clean sentiment datasets surface sentiment words
+// ("great", "love"), while the dirty datasets surface stopwords - evidence
+// that their separable signal is weak.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/characteristics.h"
+#include "data/specs.h"
+
+namespace semtag {
+namespace {
+
+int Main() {
+  bench::BenchSetup("Table 8 - informative tokens by P-N",
+                    "Li et al., VLDB 2020, Section 6.2.3, Table 8");
+  for (const char* name : {"AMAZON", "YELP", "FUNNY*", "BOOK*"}) {
+    const auto spec = *data::FindSpec(name);
+    const data::Dataset dataset = data::BuildDataset(spec);
+    const auto tokens = core::TopInformativeTokens(dataset, 5, 20);
+    std::printf("%s (paper's top token: %s)\n\n", name,
+                std::string(name) == "AMAZON"  ? "great 0.27/0.09"
+                : std::string(name) == "YELP"  ? "great 0.39/0.15"
+                : std::string(name) == "FUNNY*" ? "that 0.75/0.41 (stopword)"
+                                                : "he 0.13/0.06 (stopword)");
+    bench::Table table({"token", "P", "N", "P-N"});
+    for (const auto& t : tokens) {
+      table.AddRow({t.token, bench::Fmt(t.p), bench::Fmt(t.n),
+                    StrFormat("%+.2f", t.p - t.n)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "Expected shape: AMAZON/YELP top tokens are sentiment words with a "
+      "wide P-N gap; FUNNY*/BOOK* top tokens have narrow gaps and include "
+      "high-frequency words, reflecting their dirty, diffuse signal.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

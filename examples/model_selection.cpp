@@ -1,0 +1,77 @@
+// Model selection with the Advisor: profile a dataset, get the study's
+// recommendation (deep vs simple) with an expected-F1 band, and render the
+// Figure 11 reference heat map the advice interpolates.
+//
+//   ./build/examples/model_selection
+
+#include <cstdio>
+
+#include "core/advisor.h"
+#include "data/specs.h"
+
+namespace {
+
+void Advise(const char* label, semtag::core::AdviceRequest request) {
+  using namespace semtag;
+  const core::Advice advice = core::RecommendModel(request);
+  std::printf("--- %s\n", label);
+  std::printf("    records %lld, ratio %.2f, labels %s%s\n",
+              static_cast<long long>(request.profile.num_records),
+              request.profile.positive_ratio,
+              request.profile.labels_clean ? "clean" : "dirty",
+              request.need_fast_training ? ", fast training required" : "");
+  std::printf("    recommended: %s (alternative: %s)\n",
+              models::ModelKindName(advice.recommended),
+              models::ModelKindName(advice.alternative));
+  std::printf("    expected F1: %.2f - %.2f (nearest reference datasets:",
+              advice.expected_f1_low, advice.expected_f1_high);
+  for (const auto& n : advice.neighbors) std::printf(" %s", n.c_str());
+  std::printf(")\n    rationale: %s\n\n", advice.rationale.c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace semtag;
+
+  // Scenario 1: profile a real dataset you have in memory.
+  {
+    const data::Dataset dataset =
+        data::BuildDataset(*data::FindSpec("HOTEL"));
+    core::AdviceRequest request;
+    request.profile = core::ProfileDataset(dataset);
+    // Cleanliness is declared, not measured: these labels came from
+    // annotators, so they are clean.
+    request.profile.labels_clean = true;
+    Advise("a small imbalanced review dataset (HOTEL-like)", request);
+  }
+
+  // Scenario 2-4: describe datasets by their characteristics only.
+  {
+    core::AdviceRequest request;
+    request.profile.num_records = 5000000;
+    request.profile.positive_ratio = 0.03;
+    request.profile.labels_clean = false;
+    Advise("millions of rule-labeled records, 3% positive (FUNNY-like)",
+           request);
+
+    request.profile.num_records = 2000000;
+    request.profile.positive_ratio = 0.5;
+    request.profile.labels_clean = true;
+    request.need_fast_training = true;
+    Advise("large clean balanced corpus, must retrain nightly on CPU",
+           request);
+
+    request.profile.num_records = 3000;
+    request.profile.positive_ratio = 0.4;
+    request.need_fast_training = false;
+    Advise("a few thousand annotated sentences (typical new task)",
+           request);
+  }
+
+  // The reference heat map behind the advice (paper Figure 11 values).
+  std::printf("Reference heat map (paper values):\n%s",
+              core::RenderHeatMap(core::PaperHeatMap(), /*color=*/true)
+                  .c_str());
+  return 0;
+}

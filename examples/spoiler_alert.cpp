@@ -1,0 +1,73 @@
+// Spoiler alerts over dirty labels (the paper's Section 2.5 application +
+// its Large-L lesson): book-review sentences whose labels come from
+// reviewer-supplied alerts, i.e. many true spoilers are labeled negative.
+// Shows why threshold calibration matters and why the study recommends
+// simple models for large dirty imbalanced data.
+//
+//   ./build/examples/spoiler_alert
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/sampling.h"
+#include "data/specs.h"
+#include "eval/calibration.h"
+#include "eval/metrics.h"
+#include "models/factory.h"
+
+int main() {
+  using namespace semtag;
+
+  // The BOOK stand-in, moderately sized for this demo: 3.2% observed
+  // spoilers, ~10% of the "negatives" are unlabeled spoilers, and much of
+  // the signal lives in book-specific character names.
+  const data::DatasetSpec spec = *data::FindSpec("BOOK");
+  data::Dataset reviews = data::BuildDatasetPool(spec, 12000);
+  Rng rng(11);
+  reviews.Shuffle(&rng);
+  auto [train, test] = reviews.Split(0.8);
+  std::printf("train %zu / test %zu sentences, observed spoiler ratio "
+              "%.1f%% (dirty labels)\n\n",
+              train.size(), test.size(), 100 * train.PositiveRatio());
+
+  auto model = models::CreateModel(models::ModelKind::kLr);
+  if (!model->Train(train).ok()) return 1;
+  const auto scores = model->ScoreAll(test.Texts());
+  const auto labels = test.Labels();
+
+  // Naive argmax tagging collapses under extreme imbalance...
+  const double argmax_f1 = eval::F1Score(
+      labels, eval::ThresholdScores(scores, model->DecisionThreshold()));
+  // ...calibrating the threshold for max F1 rescues it (Figure 7).
+  const auto calibration = eval::CalibrateMaxF1(labels, scores);
+  std::printf("LR argmax F1 %.3f  ->  calibrated F1 %.3f at threshold "
+              "%.3f\n",
+              argmax_f1, calibration.best_f1, calibration.best_threshold);
+
+  // Against the *true* labels, the same tagger looks much better: the F1
+  // ceiling was the dirty labels, not the model (Section 6.2.3).
+  std::vector<int> true_labels;
+  for (const auto& e : test.examples()) true_labels.push_back(e.true_label);
+  const auto vs_truth = eval::CalibrateMaxF1(true_labels, scores);
+  std::printf("same scores vs noise-free labels: max F1 %.3f "
+              "(the gap is the label dirt)\n\n",
+              vs_truth.best_f1);
+
+  // Production setup: SemanticTagger with calibration on, flagging
+  // sentences for a spoiler warning.
+  core::TaggerOptions options;
+  options.auto_select_model = false;
+  options.model = models::ModelKind::kLr;
+  options.calibrate_threshold = true;
+  auto tagger = core::SemanticTagger::Train(train, options);
+  if (!tagger.ok()) return 1;
+  int flagged = 0;
+  for (const auto& e : test.examples()) flagged += (*tagger)->Tag(e.text);
+  std::printf("spoiler warnings on the test stream: %d of %zu sentences "
+              "(validation F1 %.2f)\n",
+              flagged, test.size(), (*tagger)->validation().f1);
+  std::printf("\nPer the study: before buying GPU time here, fix the "
+              "labels - every model is capped by the dirt, and a "
+              "calibrated simple model already sits at that cap.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace semtag {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::AddRow(const std::vector<std::string>& fields) {
+  rows_.push_back(fields);
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += QuoteField(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  return WriteStringToFile(path, ToString());
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        field_started = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        if (field_started || !field.empty() || !row.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+        }
+        field_started = false;
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace semtag

@@ -1,0 +1,42 @@
+#ifndef SEMTAG_COMMON_CSV_H_
+#define SEMTAG_COMMON_CSV_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace semtag {
+
+/// Minimal CSV support used for the experiment-result cache and for bench
+/// output that downstream plotting scripts can consume. Fields containing
+/// commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Appends one row.
+  void AddRow(const std::vector<std::string>& fields);
+
+  /// Serializes all rows.
+  std::string ToString() const;
+
+  /// Writes all rows to a file, replacing its contents.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses CSV text into rows of fields.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file (replacing contents).
+Status WriteStringToFile(const std::string& path, const std::string& text);
+
+}  // namespace semtag
+
+#endif  // SEMTAG_COMMON_CSV_H_

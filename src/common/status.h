@@ -1,0 +1,129 @@
+#ifndef SEMTAG_COMMON_STATUS_H_
+#define SEMTAG_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace semtag {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style status object: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status.
+///
+/// Usage:
+///   Result<Vocabulary> r = Vocabulary::Build(...);
+///   if (!r.ok()) return r.status();
+///   Vocabulary v = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK when this result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the value. Aborts if this result holds an error.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SEMTAG_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::semtag::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Evaluates a Result expression, returning its error status on failure or
+/// binding its value to `lhs` on success.
+#define SEMTAG_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  auto SEMTAG_CONCAT_(_res, __LINE__) = (rexpr);              \
+  if (!SEMTAG_CONCAT_(_res, __LINE__).ok())                   \
+    return SEMTAG_CONCAT_(_res, __LINE__).status();           \
+  lhs = std::move(SEMTAG_CONCAT_(_res, __LINE__)).ValueOrDie()
+
+#define SEMTAG_CONCAT_INNER_(a, b) a##b
+#define SEMTAG_CONCAT_(a, b) SEMTAG_CONCAT_INNER_(a, b)
+
+}  // namespace semtag
+
+#endif  // SEMTAG_COMMON_STATUS_H_

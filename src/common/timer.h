@@ -1,0 +1,27 @@
+#ifndef SEMTAG_COMMON_TIMER_H_
+#define SEMTAG_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace semtag {
+
+/// Simple monotonic wall-clock timer used to measure training times.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace semtag
+
+#endif  // SEMTAG_COMMON_TIMER_H_

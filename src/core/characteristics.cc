@@ -1,0 +1,15 @@
+#include "core/characteristics.h"
+
+namespace semtag::core {
+
+DatasetProfile ProfileDataset(const data::Dataset& dataset) {
+  const data::DatasetStats stats = dataset.ComputeStats();
+  DatasetProfile profile;
+  profile.num_records = stats.num_records;
+  profile.positive_ratio = stats.positive_ratio;
+  profile.vocab_size = stats.vocab_size;
+  profile.labels_clean = true;
+  return profile;
+}
+
+}  // namespace semtag::core

@@ -1,0 +1,34 @@
+#ifndef SEMTAG_CORE_CHARACTERISTICS_H_
+#define SEMTAG_CORE_CHARACTERISTICS_H_
+
+#include <cstdint>
+
+#include "data/analysis.h"
+#include "data/dataset.h"
+
+namespace semtag::core {
+
+/// The characteristics analyses live with the data substrate (so models
+/// can use them too); re-exported here as part of the study's public API.
+using data::InformativeToken;
+using data::TopInformativeTokens;
+using data::VocabGrowthPoint;
+using data::VocabularyGrowth;
+
+/// Observable characteristics of a user's dataset, as consumed by the
+/// Advisor. Cleanliness is declared, not measured - whether labels come
+/// from rules or annotators is something only the owner knows (Section 4).
+struct DatasetProfile {
+  int64_t num_records = 0;
+  double positive_ratio = 0.0;
+  int64_t vocab_size = 0;
+  bool labels_clean = true;
+};
+
+/// Profiles a dataset (cleanliness defaults to true; override from
+/// knowledge of the labeling process).
+DatasetProfile ProfileDataset(const data::Dataset& dataset);
+
+}  // namespace semtag::core
+
+#endif  // SEMTAG_CORE_CHARACTERISTICS_H_

@@ -1,0 +1,39 @@
+#include "core/cross_validation.h"
+
+#include "common/rng.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "eval/stats.h"
+
+namespace semtag::core {
+
+Result<CrossValidationResult> CrossValidate(const data::Dataset& dataset,
+                                            models::ModelKind kind,
+                                            int folds, uint64_t seed) {
+  if (folds < 2) return Status::InvalidArgument("need at least 2 folds");
+  const int64_t positives = dataset.PositiveCount();
+  if (positives < folds ||
+      static_cast<int64_t>(dataset.size()) - positives < folds) {
+    return Status::InvalidArgument(
+        "each class needs at least one record per fold");
+  }
+  Rng rng(seed);
+  const auto fold_sets = data::StratifiedFolds(dataset, folds, &rng);
+  CrossValidationResult result;
+  for (int f = 0; f < folds; ++f) {
+    const data::Dataset train = data::MergeFoldsExcept(fold_sets, f);
+    const data::Dataset& test = fold_sets[static_cast<size_t>(f)];
+    auto model = models::CreateModelSeeded(kind, seed + f);
+    SEMTAG_RETURN_NOT_OK(model->Train(train));
+    const double f1 =
+        eval::F1Score(test.Labels(), model->PredictAll(test.Texts()));
+    result.fold_f1.push_back(f1);
+    result.mean_train_seconds += model->train_seconds();
+  }
+  result.mean_f1 = eval::Mean(result.fold_f1);
+  result.stddev_f1 = eval::StdDev(result.fold_f1);
+  result.mean_train_seconds /= folds;
+  return result;
+}
+
+}  // namespace semtag::core

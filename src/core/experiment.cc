@@ -1,0 +1,221 @@
+#include "core/experiment.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "eval/calibration.h"
+#include "eval/metrics.h"
+#include "models/deep/bert_cache.h"
+
+namespace semtag::core {
+
+namespace {
+
+/// Version stamp folded into every cache key; bump to invalidate all
+/// previously cached results after a change to training internals that the
+/// config hash cannot see.
+constexpr uint64_t kRunnerVersion = 3;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  h ^= v;
+  return h * 0x100000001b3ULL;
+}
+
+uint64_t HashDouble(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+uint64_t HashGeneratorConfig(const data::GeneratorConfig& g) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = FnvMix(h, static_cast<uint64_t>(g.bg_vocab));
+  h = FnvMix(h, static_cast<uint64_t>(g.avg_len));
+  h = FnvMix(h, HashDouble(g.stopword_prob));
+  h = FnvMix(h, HashDouble(g.topic_prob));
+  h = FnvMix(h, HashDouble(g.signal_strength));
+  h = FnvMix(h, HashDouble(g.signal_leak));
+  h = FnvMix(h, HashDouble(g.topic_purity));
+  h = FnvMix(h, HashDouble(g.conjunction));
+  h = FnvMix(h, static_cast<uint64_t>(g.signal_topic));
+  h = FnvMix(h, static_cast<uint64_t>(g.negative_signal_topic + 1));
+  for (int t : g.positive_topics) h = FnvMix(h, static_cast<uint64_t>(t));
+  for (int t : g.negative_topics) h = FnvMix(h, static_cast<uint64_t>(t));
+  h = FnvMix(h, HashDouble(g.entity_signal));
+  h = FnvMix(h, HashDouble(g.entity_rate));
+  h = FnvMix(h, static_cast<uint64_t>(g.entity_pool_size));
+  h = FnvMix(h, HashDouble(g.neg_contamination));
+  h = FnvMix(h, HashDouble(g.pos_contamination));
+  h = FnvMix(h, g.seed);
+  return h;
+}
+
+}  // namespace
+
+std::string ExperimentCacheKey(const data::DatasetSpec& spec,
+                               models::ModelKind kind, uint64_t seed) {
+  uint64_t h = HashGeneratorConfig(spec.generator);
+  h = FnvMix(h, static_cast<uint64_t>(spec.scaled_records));
+  h = FnvMix(h, HashDouble(spec.paper_positive));
+  h = FnvMix(h, HashDouble(spec.train_fraction));
+  h = FnvMix(h, kRunnerVersion);
+  return StrFormat("%s|%s|s%" PRIu64 "|%016" PRIx64, spec.name.c_str(),
+                   models::ModelKindName(kind), seed, h);
+}
+
+std::string SpecConfigDigest(const data::DatasetSpec& spec) {
+  uint64_t h = HashGeneratorConfig(spec.generator);
+  h = FnvMix(h, static_cast<uint64_t>(spec.scaled_records));
+  h = FnvMix(h, HashDouble(spec.paper_positive));
+  return StrFormat("%08x", static_cast<unsigned>(h & 0xffffffffu));
+}
+
+ExperimentResult TrainAndEvaluate(const data::Dataset& train,
+                                  const data::Dataset& test,
+                                  models::ModelKind kind, uint64_t seed) {
+  auto model = models::CreateModelSeeded(kind, seed);
+  SEMTAG_CHECK(model != nullptr);
+  const Status st = model->Train(train);
+  if (!st.ok()) {
+    SEMTAG_LOG(kError, "training %s on %s failed: %s",
+               models::ModelKindName(kind), train.name().c_str(),
+               st.ToString().c_str());
+  }
+  ExperimentResult result;
+  result.dataset = train.name();
+  result.model = models::ModelKindName(kind);
+  result.train_size = static_cast<int64_t>(train.size());
+  result.test_size = static_cast<int64_t>(test.size());
+  result.train_seconds = model->train_seconds();
+  if (!st.ok()) return result;
+
+  const auto texts = test.Texts();
+  const auto labels = test.Labels();
+  const std::vector<double> scores = model->ScoreAll(texts);
+  const std::vector<int> predictions =
+      eval::ThresholdScores(scores, model->DecisionThreshold());
+  const eval::Confusion confusion =
+      eval::ComputeConfusion(labels, predictions);
+  result.f1 = confusion.F1();
+  result.precision = confusion.Precision();
+  result.recall = confusion.Recall();
+  result.accuracy = confusion.Accuracy();
+  result.auc = eval::Auc(labels, scores);
+  result.calibrated_f1 = eval::CalibrateMaxF1(labels, scores).best_f1;
+  return result;
+}
+
+ExperimentRunner::ExperimentRunner(bool use_cache) : use_cache_(use_cache) {
+  if (use_cache_) {
+    cache_path_ = models::CacheDir() + "/results.csv";
+    LoadCacheFile();
+  }
+}
+
+void ExperimentRunner::LoadCacheFile() {
+  auto content = ReadFileToString(cache_path_);
+  if (!content.ok()) return;  // first run: no cache yet
+  auto rows = ParseCsv(*content);
+  if (!rows.ok()) {
+    SEMTAG_LOG(kWarning, "ignoring corrupt result cache %s",
+               cache_path_.c_str());
+    return;
+  }
+  for (const auto& row : *rows) {
+    if (row.size() != 12) continue;
+    ExperimentResult r;
+    const std::string& key = row[0];
+    r.dataset = row[1];
+    r.model = row[2];
+    r.f1 = std::atof(row[3].c_str());
+    r.precision = std::atof(row[4].c_str());
+    r.recall = std::atof(row[5].c_str());
+    r.accuracy = std::atof(row[6].c_str());
+    r.auc = std::atof(row[7].c_str());
+    r.calibrated_f1 = std::atof(row[8].c_str());
+    r.train_seconds = std::atof(row[9].c_str());
+    r.train_size = std::atol(row[10].c_str());
+    r.test_size = std::atol(row[11].c_str());
+    cache_[key] = std::move(r);
+  }
+}
+
+bool ExperimentRunner::Lookup(const std::string& key,
+                              ExperimentResult* result) const {
+  if (!use_cache_) return false;
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  *result = it->second;
+  return true;
+}
+
+void ExperimentRunner::Store(const std::string& key,
+                             const ExperimentResult& result) {
+  if (!use_cache_) return;
+  cache_[key] = result;
+  // Rewrite the whole file: results are small and this keeps it valid CSV
+  // even if two binaries interleave (last writer wins per run).
+  CsvWriter writer;
+  for (const auto& [k, r] : cache_) {
+    writer.AddRow({k, r.dataset, r.model, StrFormat("%.6f", r.f1),
+                   StrFormat("%.6f", r.precision),
+                   StrFormat("%.6f", r.recall),
+                   StrFormat("%.6f", r.accuracy), StrFormat("%.6f", r.auc),
+                   StrFormat("%.6f", r.calibrated_f1),
+                   StrFormat("%.4f", r.train_seconds),
+                   std::to_string(r.train_size),
+                   std::to_string(r.test_size)});
+  }
+  const Status st = writer.WriteFile(cache_path_);
+  if (!st.ok()) {
+    SEMTAG_LOG(kWarning, "cannot persist result cache: %s",
+               st.ToString().c_str());
+  }
+}
+
+ExperimentResult ExperimentRunner::Run(const data::DatasetSpec& spec,
+                                       models::ModelKind kind,
+                                       uint64_t seed) {
+  const std::string key = ExperimentCacheKey(spec, kind, seed);
+  ExperimentResult result;
+  if (Lookup(key, &result)) return result;
+  data::Dataset dataset = data::BuildDataset(spec);
+  Rng shuffle_rng(spec.generator.seed ^ (seed * 0x9e3779b9ULL));
+  dataset.Shuffle(&shuffle_rng);
+  auto [train, test] = dataset.Split(spec.train_fraction);
+  train.set_name(spec.name);
+  result = TrainAndEvaluate(train, test, kind, seed);
+  Store(key, result);
+  return result;
+}
+
+ExperimentResult ExperimentRunner::RunOn(const std::string& cache_key,
+                                         const data::Dataset& train,
+                                         const data::Dataset& test,
+                                         models::ModelKind kind,
+                                         uint64_t seed) {
+  const std::string key =
+      StrFormat("%s|%s|s%" PRIu64 "|v%" PRIu64, cache_key.c_str(),
+                models::ModelKindName(kind), seed, kRunnerVersion);
+  ExperimentResult result;
+  if (Lookup(key, &result)) return result;
+  result = TrainAndEvaluate(train, test, kind, seed);
+  Store(key, result);
+  return result;
+}
+
+std::vector<ExperimentResult> ExperimentRunner::RunAll(
+    models::ModelKind kind) {
+  std::vector<ExperimentResult> results;
+  for (const auto& spec : data::AllDatasetSpecs()) {
+    results.push_back(Run(spec, kind));
+  }
+  return results;
+}
+
+}  // namespace semtag::core

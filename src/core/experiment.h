@@ -1,0 +1,81 @@
+#ifndef SEMTAG_CORE_EXPERIMENT_H_
+#define SEMTAG_CORE_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/specs.h"
+#include "models/factory.h"
+
+namespace semtag::core {
+
+/// All measurements of one (dataset, model) run.
+struct ExperimentResult {
+  std::string dataset;
+  std::string model;
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double accuracy = 0.0;
+  double auc = 0.0;
+  /// Max F1 over a 200-point calibration-threshold sweep (appendix).
+  double calibrated_f1 = 0.0;
+  double train_seconds = 0.0;
+  int64_t train_size = 0;
+  int64_t test_size = 0;
+};
+
+/// Trains `kind` on `train`, evaluates on `test`, and fills every metric.
+ExperimentResult TrainAndEvaluate(const data::Dataset& train,
+                                  const data::Dataset& test,
+                                  models::ModelKind kind, uint64_t seed = 0);
+
+/// Runs experiments with a persistent file cache, so the bench binaries
+/// (separate processes sharing many cells of the dataset x model grid) do
+/// not retrain the same model repeatedly.
+///
+/// Cache keys hash the dataset's full generator configuration, the split,
+/// the model, and the seed — retuning any knob invalidates exactly the
+/// affected entries. The cache lives at CacheDir()/results.csv.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(bool use_cache = true);
+
+  /// Standard protocol of Section 5.1: deterministic shuffle, then a
+  /// train_fraction/rest split of the spec's generated dataset.
+  ExperimentResult Run(const data::DatasetSpec& spec, models::ModelKind kind,
+                       uint64_t seed = 0);
+
+  /// Runs on explicit train/test sets; `cache_key` must uniquely describe
+  /// how they were built (the caller knows the derivation).
+  ExperimentResult RunOn(const std::string& cache_key,
+                         const data::Dataset& train,
+                         const data::Dataset& test, models::ModelKind kind,
+                         uint64_t seed = 0);
+
+  /// Convenience: Run() over all 21 specs for one model.
+  std::vector<ExperimentResult> RunAll(models::ModelKind kind);
+
+ private:
+  bool Lookup(const std::string& key, ExperimentResult* result) const;
+  void Store(const std::string& key, const ExperimentResult& result);
+  void LoadCacheFile();
+
+  bool use_cache_;
+  std::string cache_path_;
+  std::map<std::string, ExperimentResult> cache_;
+};
+
+/// Stable content key for a spec + model + seed (exposed for tests).
+std::string ExperimentCacheKey(const data::DatasetSpec& spec,
+                               models::ModelKind kind, uint64_t seed);
+
+/// Short hex digest of a spec's generator configuration; callers of
+/// RunOn() fold it into their cache keys so retuning a dataset invalidates
+/// the derived sweeps too.
+std::string SpecConfigDigest(const data::DatasetSpec& spec);
+
+}  // namespace semtag::core
+
+#endif  // SEMTAG_CORE_EXPERIMENT_H_

@@ -1,0 +1,98 @@
+#include "core/multiclass.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "eval/metrics.h"
+
+namespace semtag::core {
+
+Result<std::unique_ptr<MultiClassTagger>> MultiClassTagger::Train(
+    const std::vector<std::string>& class_names,
+    const std::vector<MultiClassExample>& examples, models::ModelKind kind,
+    uint64_t seed) {
+  if (class_names.size() < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  if (examples.empty()) {
+    return Status::InvalidArgument("no training examples");
+  }
+  std::vector<int64_t> per_class(class_names.size(), 0);
+  for (const auto& e : examples) {
+    if (e.label < 0 ||
+        e.label >= static_cast<int>(class_names.size())) {
+      return Status::OutOfRange(
+          StrFormat("label %d out of range for %zu classes", e.label,
+                    class_names.size()));
+    }
+    ++per_class[static_cast<size_t>(e.label)];
+  }
+  for (size_t c = 0; c < class_names.size(); ++c) {
+    if (per_class[c] == 0) {
+      return Status::InvalidArgument("class has no examples: " +
+                                     class_names[c]);
+    }
+  }
+
+  auto tagger = std::unique_ptr<MultiClassTagger>(new MultiClassTagger());
+  tagger->class_names_ = class_names;
+  for (size_t c = 0; c < class_names.size(); ++c) {
+    data::Dataset binary("ovr/" + class_names[c]);
+    binary.Reserve(examples.size());
+    for (const auto& e : examples) {
+      data::Example be;
+      be.text = e.text;
+      be.label = e.label == static_cast<int>(c) ? 1 : 0;
+      be.true_label = be.label;
+      binary.Add(std::move(be));
+    }
+    auto model = models::CreateModelSeeded(kind, seed + c);
+    SEMTAG_CHECK(model != nullptr);
+    SEMTAG_RETURN_NOT_OK(model->Train(binary));
+    tagger->models_.push_back(std::move(model));
+  }
+  return tagger;
+}
+
+std::vector<double> MultiClassTagger::Scores(std::string_view text) const {
+  std::vector<double> scores;
+  scores.reserve(models_.size());
+  for (const auto& m : models_) {
+    // Shift by the decision threshold so margin models (threshold 0) and
+    // probability models (threshold 0.5) argmax comparably.
+    scores.push_back(m->Score(text) - m->DecisionThreshold());
+  }
+  return scores;
+}
+
+int MultiClassTagger::Predict(std::string_view text) const {
+  const auto scores = Scores(text);
+  int best = 0;
+  for (int c = 1; c < static_cast<int>(scores.size()); ++c) {
+    if (scores[static_cast<size_t>(c)] > scores[static_cast<size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<PerClassF1> MultiClassTagger::Evaluate(
+    const std::vector<MultiClassExample>& test) const {
+  std::vector<int> predictions;
+  predictions.reserve(test.size());
+  for (const auto& e : test) predictions.push_back(Predict(e.text));
+  std::vector<PerClassF1> out;
+  for (size_t c = 0; c < class_names_.size(); ++c) {
+    std::vector<int> y_true;
+    std::vector<int> y_pred;
+    y_true.reserve(test.size());
+    for (size_t i = 0; i < test.size(); ++i) {
+      y_true.push_back(test[i].label == static_cast<int>(c) ? 1 : 0);
+      y_pred.push_back(predictions[i] == static_cast<int>(c) ? 1 : 0);
+    }
+    out.push_back(PerClassF1{class_names_[c],
+                             eval::F1Score(y_true, y_pred)});
+  }
+  return out;
+}
+
+}  // namespace semtag::core

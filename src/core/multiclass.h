@@ -1,0 +1,63 @@
+#ifndef SEMTAG_CORE_MULTICLASS_H_
+#define SEMTAG_CORE_MULTICLASS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "models/factory.h"
+
+namespace semtag::core {
+
+/// One (text, class-index) record for multi-class tagging.
+struct MultiClassExample {
+  std::string text;
+  int label = 0;  // index into MultiClassTagger's class list
+};
+
+/// Per-class evaluation row (the appendix's BIO/DEF reporting format).
+struct PerClassF1 {
+  std::string class_name;
+  double f1 = 0.0;
+};
+
+/// One-vs-rest multi-class tagger built from the study's binary models —
+/// how the appendix evaluates the 3-class BIO task with binary
+/// classifiers. Each class gets its own binary model of the same kind;
+/// prediction is argmax of the per-class scores.
+class MultiClassTagger {
+ public:
+  /// Trains one binary model per class. `class_names` defines the label
+  /// indices; every example's label must be in range and every class must
+  /// have at least one example.
+  static Result<std::unique_ptr<MultiClassTagger>> Train(
+      const std::vector<std::string>& class_names,
+      const std::vector<MultiClassExample>& examples,
+      models::ModelKind kind, uint64_t seed = 0);
+
+  /// Index of the argmax class.
+  int Predict(std::string_view text) const;
+
+  /// Raw per-class scores (same order as class names).
+  std::vector<double> Scores(std::string_view text) const;
+
+  const std::vector<std::string>& class_names() const {
+    return class_names_;
+  }
+
+  /// Per-class one-vs-rest F1 on a held-out set.
+  std::vector<PerClassF1> Evaluate(
+      const std::vector<MultiClassExample>& test) const;
+
+ private:
+  MultiClassTagger() = default;
+
+  std::vector<std::string> class_names_;
+  std::vector<std::unique_ptr<models::TaggingModel>> models_;
+};
+
+}  // namespace semtag::core
+
+#endif  // SEMTAG_CORE_MULTICLASS_H_

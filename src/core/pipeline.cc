@@ -1,0 +1,90 @@
+#include "core/pipeline.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "eval/calibration.h"
+#include "eval/metrics.h"
+
+namespace semtag::core {
+
+Result<std::unique_ptr<SemanticTagger>> SemanticTagger::Train(
+    const data::Dataset& labeled, const TaggerOptions& options) {
+  if (labeled.size() < 10) {
+    return Status::InvalidArgument(
+        "need at least 10 labeled records to train a tagger");
+  }
+  const int64_t positives = labeled.PositiveCount();
+  if (positives == 0 || positives == static_cast<int64_t>(labeled.size())) {
+    return Status::InvalidArgument(
+        "training data must contain both positive and negative labels");
+  }
+  if (options.validation_fraction <= 0.0 ||
+      options.validation_fraction >= 0.5) {
+    return Status::InvalidArgument(
+        "validation_fraction must be in (0, 0.5)");
+  }
+
+  auto tagger = std::unique_ptr<SemanticTagger>(new SemanticTagger());
+  if (options.auto_select_model) {
+    AdviceRequest request;
+    request.profile = ProfileDataset(labeled);
+    request.profile.labels_clean = options.labels_clean;
+    request.need_fast_training = options.need_fast_training;
+    tagger->advice_ = RecommendModel(request);
+    tagger->model_kind_ = tagger->advice_.recommended;
+    SEMTAG_LOG(kInfo, "advisor selected %s: %s",
+               models::ModelKindName(tagger->model_kind_),
+               tagger->advice_.rationale.c_str());
+  } else {
+    tagger->model_kind_ = options.model;
+  }
+
+  data::Dataset shuffled = labeled;
+  Rng rng(options.seed);
+  shuffled.Shuffle(&rng);
+  auto [train, validation] =
+      shuffled.Split(1.0 - options.validation_fraction);
+  if (train.PositiveCount() == 0 || validation.PositiveCount() == 0) {
+    return Status::InvalidArgument(
+        "too few positives to form a validation split; add labels or "
+        "lower validation_fraction");
+  }
+
+  tagger->model_ =
+      models::CreateModelSeeded(tagger->model_kind_, options.seed);
+  SEMTAG_RETURN_NOT_OK(tagger->model_->Train(train));
+
+  const auto texts = validation.Texts();
+  const auto labels = validation.Labels();
+  const auto scores = tagger->model_->ScoreAll(texts);
+  tagger->threshold_ = tagger->model_->DecisionThreshold();
+  if (options.calibrate_threshold) {
+    const auto calibration = eval::CalibrateMaxF1(labels, scores);
+    tagger->threshold_ = calibration.best_threshold;
+  }
+  const auto predictions = eval::ThresholdScores(scores, tagger->threshold_);
+  const auto confusion = eval::ComputeConfusion(labels, predictions);
+  tagger->validation_.dataset = labeled.name();
+  tagger->validation_.model = models::ModelKindName(tagger->model_kind_);
+  tagger->validation_.f1 = confusion.F1();
+  tagger->validation_.precision = confusion.Precision();
+  tagger->validation_.recall = confusion.Recall();
+  tagger->validation_.accuracy = confusion.Accuracy();
+  tagger->validation_.auc = eval::Auc(labels, scores);
+  tagger->validation_.calibrated_f1 =
+      eval::CalibrateMaxF1(labels, scores).best_f1;
+  tagger->validation_.train_seconds = tagger->model_->train_seconds();
+  tagger->validation_.train_size = static_cast<int64_t>(train.size());
+  tagger->validation_.test_size = static_cast<int64_t>(validation.size());
+  return tagger;
+}
+
+bool SemanticTagger::Tag(std::string_view text) const {
+  return Score(text) >= threshold_;
+}
+
+double SemanticTagger::Score(std::string_view text) const {
+  return model_->Score(text);
+}
+
+}  // namespace semtag::core

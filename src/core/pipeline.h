@@ -1,0 +1,76 @@
+#ifndef SEMTAG_CORE_PIPELINE_H_
+#define SEMTAG_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/advisor.h"
+#include "core/experiment.h"
+#include "data/dataset.h"
+#include "models/factory.h"
+
+namespace semtag::core {
+
+/// Options for SemanticTagger::Train.
+struct TaggerOptions {
+  /// Pick the model with the Advisor from the dataset's characteristics.
+  bool auto_select_model = true;
+  /// Used when auto_select_model is false.
+  models::ModelKind model = models::ModelKind::kSvm;
+  /// Labels produced by rules rather than annotators (Advisor input).
+  bool labels_clean = true;
+  /// Training must be cheap (Advisor input).
+  bool need_fast_training = false;
+  /// Held-out fraction used to validate and (optionally) calibrate.
+  double validation_fraction = 0.1;
+  /// Tune the decision threshold for max F1 on the validation split — the
+  /// appendix's calibration technique; recommended for imbalanced data.
+  bool calibrate_threshold = false;
+  uint64_t seed = 1;
+};
+
+/// The end-to-end semantic-tagging pipeline (label prep -> representation
+/// -> model selection -> training -> evaluation), packaged as the
+/// user-facing API of the library.
+///
+///   auto tagger = core::SemanticTagger::Train(labeled_dataset, options);
+///   if (tagger.ok() && (*tagger)->Tag("Try the cupcakes next door")) ...
+class SemanticTagger {
+ public:
+  /// Trains a tagger on a labeled dataset. Fails on empty/one-class data.
+  static Result<std::unique_ptr<SemanticTagger>> Train(
+      const data::Dataset& labeled, const TaggerOptions& options = {});
+
+  /// True when the text conveys the tag.
+  bool Tag(std::string_view text) const;
+
+  /// Raw decision score (see TaggingModel::Score).
+  double Score(std::string_view text) const;
+
+  /// Metrics on the held-out validation split.
+  const ExperimentResult& validation() const { return validation_; }
+
+  /// Which model ended up being used.
+  models::ModelKind model_kind() const { return model_kind_; }
+
+  /// Advisor output when auto-selection ran (rationale is empty otherwise).
+  const Advice& advice() const { return advice_; }
+
+  /// The decision threshold in effect (calibrated or natural).
+  double threshold() const { return threshold_; }
+
+ private:
+  SemanticTagger() = default;
+
+  std::unique_ptr<models::TaggingModel> model_;
+  models::ModelKind model_kind_ = models::ModelKind::kSvm;
+  ExperimentResult validation_;
+  Advice advice_;
+  double threshold_ = 0.5;
+};
+
+}  // namespace semtag::core
+
+#endif  // SEMTAG_CORE_PIPELINE_H_

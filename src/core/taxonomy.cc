@@ -1,0 +1,33 @@
+#include "core/taxonomy.h"
+
+namespace semtag::core {
+
+const char* CategoryName(DatasetCategory category) {
+  switch (category) {
+    case DatasetCategory::kSmallL:
+      return "Small-L";
+    case DatasetCategory::kSmallH:
+      return "Small-H";
+    case DatasetCategory::kLargeL:
+      return "Large-L";
+    case DatasetCategory::kLargeH:
+      return "Large-H";
+  }
+  return "?";
+}
+
+DatasetCategory Categorize(int64_t num_records, double positive_ratio,
+                           const TaxonomyThresholds& thresholds) {
+  const bool large = num_records >= thresholds.large_records;
+  const bool high = positive_ratio >= thresholds.high_ratio;
+  if (large) {
+    return high ? DatasetCategory::kLargeH : DatasetCategory::kLargeL;
+  }
+  return high ? DatasetCategory::kSmallH : DatasetCategory::kSmallL;
+}
+
+DatasetCategory CategorizeSpec(const data::DatasetSpec& spec) {
+  return Categorize(spec.paper_records, spec.paper_positive);
+}
+
+}  // namespace semtag::core

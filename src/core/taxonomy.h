@@ -1,0 +1,40 @@
+#ifndef SEMTAG_CORE_TAXONOMY_H_
+#define SEMTAG_CORE_TAXONOMY_H_
+
+#include <cstdint>
+
+#include "data/specs.h"
+
+namespace semtag::core {
+
+/// The paper's four dataset categories (Table 4): size (Small/Large) x
+/// positive-label ratio (L = low/imbalanced < 25%, H = high >= 25%).
+enum class DatasetCategory { kSmallL, kSmallH, kLargeL, kLargeH };
+
+/// "Small-L", "Small-H", "Large-L", "Large-H".
+const char* CategoryName(DatasetCategory category);
+
+/// All four categories in Table 5's row order: Large-H, Small-H, Small-L,
+/// Large-L.
+const DatasetCategory kCategoriesInTableOrder[4] = {
+    DatasetCategory::kLargeH, DatasetCategory::kSmallH,
+    DatasetCategory::kSmallL, DatasetCategory::kLargeL};
+
+/// Size/ratio boundaries. The defaults are the paper's (>= 100,000 records
+/// is large; >= 25% positive is high).
+struct TaxonomyThresholds {
+  int64_t large_records = 100000;
+  double high_ratio = 0.25;
+};
+
+/// Categorizes by raw statistics.
+DatasetCategory Categorize(int64_t num_records, double positive_ratio,
+                           const TaxonomyThresholds& thresholds = {});
+
+/// Categorizes a study dataset by its *paper* statistics, so the taxonomy
+/// matches Table 4 even though generated datasets are scaled down.
+DatasetCategory CategorizeSpec(const data::DatasetSpec& spec);
+
+}  // namespace semtag::core
+
+#endif  // SEMTAG_CORE_TAXONOMY_H_

@@ -1,0 +1,75 @@
+#include "data/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace semtag::data {
+
+std::vector<InformativeToken> TopInformativeTokens(
+    const Dataset& dataset, int k, int64_t min_records) {
+  struct Counts {
+    int64_t pos = 0;
+    int64_t neg = 0;
+  };
+  std::unordered_map<std::string, Counts> counts;
+  int64_t n_pos = 0;
+  int64_t n_neg = 0;
+  for (const auto& e : dataset.examples()) {
+    const bool pos = e.label == 1;
+    (pos ? n_pos : n_neg) += 1;
+    std::unordered_set<std::string> seen;
+    for (auto& tok : text::Tokenize(e.text)) {
+      if (seen.insert(tok).second) {
+        auto& c = counts[tok];
+        (pos ? c.pos : c.neg) += 1;
+      }
+    }
+  }
+  if (n_pos == 0 || n_neg == 0) return {};
+  std::vector<InformativeToken> tokens;
+  tokens.reserve(counts.size());
+  for (const auto& [tok, c] : counts) {
+    if (c.pos + c.neg < min_records) continue;
+    InformativeToken it;
+    it.token = tok;
+    it.p = static_cast<double>(c.pos) / static_cast<double>(n_pos);
+    it.n = static_cast<double>(c.neg) / static_cast<double>(n_neg);
+    tokens.push_back(std::move(it));
+  }
+  std::sort(tokens.begin(), tokens.end(),
+            [](const InformativeToken& a, const InformativeToken& b) {
+              const double da = a.p - a.n;
+              const double db = b.p - b.n;
+              if (da != db) return da > db;
+              return a.token < b.token;  // deterministic tie-break
+            });
+  if (static_cast<int>(tokens.size()) > k) {
+    tokens.resize(static_cast<size_t>(k));
+  }
+  return tokens;
+}
+
+std::vector<VocabGrowthPoint> VocabularyGrowth(
+    const Dataset& dataset, const std::vector<int64_t>& sizes) {
+  std::vector<VocabGrowthPoint> points;
+  std::unordered_set<std::string> vocab;
+  size_t consumed = 0;
+  for (int64_t target : sizes) {
+    const size_t upto = std::min(
+        dataset.size(), static_cast<size_t>(std::max<int64_t>(target, 0)));
+    for (; consumed < upto; ++consumed) {
+      for (auto& tok : text::Tokenize(dataset[consumed].text)) {
+        vocab.insert(std::move(tok));
+      }
+    }
+    points.push_back(VocabGrowthPoint{
+        static_cast<int64_t>(consumed),
+        static_cast<int64_t>(vocab.size())});
+  }
+  return points;
+}
+
+}  // namespace semtag::data

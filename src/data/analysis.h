@@ -1,0 +1,39 @@
+#ifndef SEMTAG_DATA_ANALYSIS_H_
+#define SEMTAG_DATA_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace semtag::data {
+
+/// A token with its class-conditional occurrence rates (Table 8):
+/// p = fraction of positive records containing it, n = same for negatives.
+struct InformativeToken {
+  std::string token;
+  double p = 0.0;
+  double n = 0.0;
+};
+
+/// Top-k tokens by descending P-N, the paper's informativeness measure.
+/// Tokens must appear in at least `min_records` records to qualify (filters
+/// one-off noise on small datasets).
+std::vector<InformativeToken> TopInformativeTokens(
+    const Dataset& dataset, int k, int64_t min_records = 5);
+
+/// One point of the vocabulary-growth curve (Figure 9).
+struct VocabGrowthPoint {
+  int64_t records;
+  int64_t distinct_words;
+};
+
+/// Distinct-word counts after consuming each prefix size in `sizes`
+/// (ascending). Sizes beyond the dataset are clamped.
+std::vector<VocabGrowthPoint> VocabularyGrowth(
+    const Dataset& dataset, const std::vector<int64_t>& sizes);
+
+}  // namespace semtag::data
+
+#endif  // SEMTAG_DATA_ANALYSIS_H_

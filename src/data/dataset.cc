@@ -1,0 +1,80 @@
+#include "data/dataset.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "text/tokenizer.h"
+
+namespace semtag::data {
+
+double Dataset::PositiveRatio() const {
+  if (examples_.empty()) return 0.0;
+  return static_cast<double>(PositiveCount()) /
+         static_cast<double>(examples_.size());
+}
+
+int64_t Dataset::PositiveCount() const {
+  int64_t n = 0;
+  for (const auto& e : examples_) n += (e.label == 1);
+  return n;
+}
+
+DatasetStats Dataset::ComputeStats() const {
+  DatasetStats stats;
+  stats.num_records = static_cast<int64_t>(examples_.size());
+  stats.num_positive = PositiveCount();
+  stats.positive_ratio = PositiveRatio();
+  std::unordered_set<std::string> vocab;
+  int64_t total_tokens = 0;
+  for (const auto& e : examples_) {
+    const auto tokens = text::Tokenize(e.text);
+    total_tokens += static_cast<int64_t>(tokens.size());
+    for (const auto& t : tokens) vocab.insert(t);
+  }
+  stats.vocab_size = static_cast<int64_t>(vocab.size());
+  stats.avg_tokens_per_record =
+      examples_.empty() ? 0.0
+                        : static_cast<double>(total_tokens) /
+                              static_cast<double>(examples_.size());
+  return stats;
+}
+
+std::vector<std::string> Dataset::Texts() const {
+  std::vector<std::string> out;
+  out.reserve(examples_.size());
+  for (const auto& e : examples_) out.push_back(e.text);
+  return out;
+}
+
+std::vector<int> Dataset::Labels() const {
+  std::vector<int> out;
+  out.reserve(examples_.size());
+  for (const auto& e : examples_) out.push_back(e.label);
+  return out;
+}
+
+void Dataset::Shuffle(Rng* rng) { rng->Shuffle(&examples_); }
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction) const {
+  SEMTAG_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  const size_t n_train = static_cast<size_t>(
+      static_cast<double>(examples_.size()) * train_fraction);
+  Dataset train(name_ + "/train");
+  Dataset test(name_ + "/test");
+  train.Reserve(n_train);
+  test.Reserve(examples_.size() - n_train);
+  for (size_t i = 0; i < examples_.size(); ++i) {
+    (i < n_train ? train : test).Add(examples_[i]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+Dataset Dataset::Take(size_t n) const {
+  Dataset out(name_);
+  const size_t take = std::min(n, examples_.size());
+  out.Reserve(take);
+  for (size_t i = 0; i < take; ++i) out.Add(examples_[i]);
+  return out;
+}
+
+}  // namespace semtag::data

@@ -1,0 +1,74 @@
+#ifndef SEMTAG_DATA_DATASET_H_
+#define SEMTAG_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/example.h"
+
+namespace semtag::data {
+
+/// Summary statistics of a dataset (Table 3 columns).
+struct DatasetStats {
+  int64_t num_records = 0;
+  int64_t num_positive = 0;
+  double positive_ratio = 0.0;
+  /// Distinct word tokens over all texts (the paper's "Vocab" column).
+  int64_t vocab_size = 0;
+  double avg_tokens_per_record = 0.0;
+};
+
+/// An in-memory labeled text dataset.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void Add(Example example) { examples_.push_back(std::move(example)); }
+  void Reserve(size_t n) { examples_.reserve(n); }
+
+  size_t size() const { return examples_.size(); }
+  bool empty() const { return examples_.empty(); }
+  const Example& operator[](size_t i) const { return examples_[i]; }
+  const std::vector<Example>& examples() const { return examples_; }
+  std::vector<Example>& mutable_examples() { return examples_; }
+
+  /// Fraction of records with label 1.
+  double PositiveRatio() const;
+
+  /// Number of records with label 1.
+  int64_t PositiveCount() const;
+
+  /// Computes full statistics (tokenizes every record; O(total text)).
+  DatasetStats ComputeStats() const;
+
+  /// All texts (copies) — featurizer input.
+  std::vector<std::string> Texts() const;
+
+  /// All labels.
+  std::vector<int> Labels() const;
+
+  /// In-place shuffle.
+  void Shuffle(Rng* rng);
+
+  /// Splits into (train, test) with `train_fraction` of records in train,
+  /// preserving record order (shuffle first for a random split).
+  std::pair<Dataset, Dataset> Split(double train_fraction) const;
+
+  /// Returns a copy with at most `n` records (the first n).
+  Dataset Take(size_t n) const;
+
+ private:
+  std::string name_;
+  std::vector<Example> examples_;
+};
+
+}  // namespace semtag::data
+
+#endif  // SEMTAG_DATA_DATASET_H_

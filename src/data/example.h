@@ -1,0 +1,22 @@
+#ifndef SEMTAG_DATA_EXAMPLE_H_
+#define SEMTAG_DATA_EXAMPLE_H_
+
+#include <string>
+
+namespace semtag::data {
+
+/// One labeled record: (text, label), label 1 = conveys the tag.
+///
+/// `true_label` carries the noise-free label for synthetic datasets whose
+/// observed labels are dirty (missing-annotation noise); evaluation always
+/// uses `label` — exactly like the paper, which evaluates against the dirty
+/// labels — while `true_label` exists only for diagnostics and tests.
+struct Example {
+  std::string text;
+  int label = 0;
+  int true_label = 0;
+};
+
+}  // namespace semtag::data
+
+#endif  // SEMTAG_DATA_EXAMPLE_H_

@@ -1,0 +1,212 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace semtag::data {
+
+SentenceSampler::SentenceSampler(const Language* language,
+                                 const GeneratorConfig& config)
+    : language_(language),
+      config_(config),
+      background_zipf_(static_cast<uint64_t>(
+                           std::min(config.bg_vocab, language->vocab_size())),
+                       1.05),
+      stopword_zipf_(Language::kNumStopwords, 0.9),
+      topic_zipf_(Language::kTopicSize, 0.4),
+      entity_zipf_(static_cast<uint64_t>(std::max(config.entity_pool_size, 1)),
+                   0.8),
+      usable_topics_(language->TopicsWithinVocab(
+          std::min(config.bg_vocab, language->vocab_size()))),
+      entity_offset_(config.seed * 1000003ULL) {
+  SEMTAG_CHECK(usable_topics_ > 0);
+  SEMTAG_CHECK(config_.signal_topic < usable_topics_);
+  for (int t : config_.positive_topics) SEMTAG_CHECK(t < usable_topics_);
+  if (config_.negative_topics.empty()) {
+    for (int t = 0; t < usable_topics_; ++t) {
+      if (std::find(config_.positive_topics.begin(),
+                    config_.positive_topics.end(),
+                    t) == config_.positive_topics.end() &&
+          t != config_.signal_topic) {
+        negative_topics_.push_back(t);
+      }
+    }
+  } else {
+    negative_topics_ = config_.negative_topics;
+    for (int t : negative_topics_) SEMTAG_CHECK(t < usable_topics_);
+  }
+  SEMTAG_CHECK(!negative_topics_.empty());
+}
+
+int SentenceSampler::SampleContentTopic(int true_label, Rng* rng) {
+  const bool consistent = rng->Bernoulli(config_.topic_purity);
+  const bool use_positive = (true_label == 1) == consistent;
+  if (use_positive && !config_.positive_topics.empty()) {
+    return config_.positive_topics[rng->Uniform(
+        config_.positive_topics.size())];
+  }
+  return negative_topics_[rng->Uniform(negative_topics_.size())];
+}
+
+int SentenceSampler::SampleTopicWordId(int topic, Rng* rng) {
+  const int k = static_cast<int>(topic_zipf_.Sample(rng));
+  return language_->TopicWordId(topic, k);
+}
+
+std::string SentenceSampler::NextEntity(Rng* rng) {
+  // Zipf over the dataset's name universe: a few popular names recur (the
+  // famous characters) while the tail is near-unique.
+  const uint64_t id = entity_offset_ + entity_zipf_.Sample(rng);
+  return Language::EntityName(id);
+}
+
+std::string SentenceSampler::Sample(int true_label, Rng* rng) {
+  const int len = static_cast<int>(std::clamp(
+      rng->Normal(config_.avg_len, config_.avg_len / 3.0), 4.0,
+      config_.avg_len * 2.0));
+
+  // Compositional mode: positives mix the first two positive topics,
+  // negatives use exactly one of them (see GeneratorConfig::conjunction).
+  if (config_.conjunction > 0.0 && config_.positive_topics.size() >= 2 &&
+      rng->Bernoulli(config_.conjunction)) {
+    const int topic_a = config_.positive_topics[0];
+    const int topic_b = config_.positive_topics[1];
+    const int only = rng->Bernoulli(0.5) ? topic_a : topic_b;
+    std::string sentence;
+    for (int i = 0; i < len; ++i) {
+      std::string token;
+      const double u = rng->UniformDouble();
+      if (u < config_.stopword_prob) {
+        token =
+            language_->Word(static_cast<int>(stopword_zipf_.Sample(rng)));
+      } else if (u < config_.stopword_prob + 0.45) {
+        int topic = only;
+        if (true_label == 1) topic = rng->Bernoulli(0.5) ? topic_a : topic_b;
+        token = language_->Word(SampleTopicWordId(topic, rng));
+      } else {
+        token =
+            language_->Word(static_cast<int>(background_zipf_.Sample(rng)));
+      }
+      if (!sentence.empty()) sentence.push_back(' ');
+      sentence += token;
+    }
+    sentence.push_back('.');
+    return sentence;
+  }
+
+  const int content_topic = SampleContentTopic(true_label, rng);
+
+  const double signal_p = true_label == 1
+                              ? config_.signal_strength
+                              : config_.signal_strength * config_.signal_leak;
+  // The negative lexicon mirrors the positive one with the roles swapped.
+  const double neg_signal_p =
+      config_.negative_signal_topic >= 0
+          ? (true_label == 0
+                 ? config_.signal_strength
+                 : config_.signal_strength * config_.signal_leak)
+          : 0.0;
+
+  std::string sentence;
+  for (int i = 0; i < len; ++i) {
+    std::string token;
+    const double u = rng->UniformDouble();
+    double acc = config_.stopword_prob;
+    if (u < acc) {
+      token = language_->Word(static_cast<int>(stopword_zipf_.Sample(rng)));
+    } else if (u < (acc += signal_p)) {
+      if (true_label == 1 && config_.entity_signal > 0.0 &&
+          rng->Bernoulli(config_.entity_signal)) {
+        token = NextEntity(rng);
+      } else {
+        token = language_->Word(SampleTopicWordId(config_.signal_topic, rng));
+      }
+    } else if (u < (acc += neg_signal_p)) {
+      token = language_->Word(
+          SampleTopicWordId(config_.negative_signal_topic, rng));
+    } else if (u < (acc += config_.entity_rate)) {
+      token = NextEntity(rng);
+    } else if (u < (acc += config_.topic_prob)) {
+      token = language_->Word(SampleTopicWordId(content_topic, rng));
+    } else {
+      token =
+          language_->Word(static_cast<int>(background_zipf_.Sample(rng)));
+    }
+    if (!sentence.empty()) sentence.push_back(' ');
+    sentence += token;
+    // Occasional mid-sentence comma for texture.
+    if (i + 1 < len && rng->Bernoulli(0.04)) sentence.push_back(',');
+  }
+  sentence.push_back(rng->Bernoulli(0.15) ? '!' : '.');
+  return sentence;
+}
+
+Dataset GenerateDataset(const Language& language,
+                        const GeneratorConfig& config, std::string name,
+                        int n, double observed_positive_ratio) {
+  SEMTAG_CHECK(n > 0);
+  SEMTAG_CHECK(observed_positive_ratio > 0.0 &&
+               observed_positive_ratio < 1.0);
+  Rng rng(config.seed);
+  SentenceSampler sampler(&language, config);
+  Dataset dataset(std::move(name));
+  dataset.Reserve(static_cast<size_t>(n));
+  // Exact observed counts (the paper reports exact ratios per dataset).
+  const int n_pos = std::max(
+      1, static_cast<int>(std::lround(n * observed_positive_ratio)));
+  for (int i = 0; i < n; ++i) {
+    Example e;
+    e.label = i < n_pos ? 1 : 0;
+    const double contamination =
+        e.label == 1 ? config.pos_contamination : config.neg_contamination;
+    e.true_label = rng.Bernoulli(contamination) ? 1 - e.label : e.label;
+    e.text = sampler.Sample(e.true_label, &rng);
+    dataset.Add(std::move(e));
+  }
+  dataset.Shuffle(&rng);
+  return dataset;
+}
+
+std::vector<std::string> GeneratePretrainCorpus(const Language& language,
+                                                int num_sentences,
+                                                int avg_len, uint64_t seed) {
+  Rng rng(seed);
+  const int topics = language.num_topics();
+  ZipfTable background(static_cast<uint64_t>(language.vocab_size()), 1.05);
+  ZipfTable stop(Language::kNumStopwords, 0.9);
+  ZipfTable in_topic(Language::kTopicSize, 0.4);
+  std::vector<std::string> corpus;
+  corpus.reserve(static_cast<size_t>(num_sentences));
+  for (int s = 0; s < num_sentences; ++s) {
+    // Mostly single-topic sentences, occasionally two topics, so MLM sees
+    // coherent contexts.
+    const int topic_a = static_cast<int>(rng.Uniform(topics));
+    const int topic_b =
+        rng.Bernoulli(0.15) ? static_cast<int>(rng.Uniform(topics)) : topic_a;
+    const int len = static_cast<int>(
+        std::clamp(rng.Normal(avg_len, avg_len / 3.0), 4.0, avg_len * 2.0));
+    std::string sentence;
+    for (int i = 0; i < len; ++i) {
+      std::string token;
+      const double u = rng.UniformDouble();
+      if (u < 0.30) {
+        token = language.Word(static_cast<int>(stop.Sample(&rng)));
+      } else if (u < 0.88) {
+        const int topic = rng.Bernoulli(0.5) ? topic_a : topic_b;
+        token = language.Word(
+            language.TopicWordId(topic, static_cast<int>(in_topic.Sample(&rng))));
+      } else {
+        token = language.Word(static_cast<int>(background.Sample(&rng)));
+      }
+      if (!sentence.empty()) sentence.push_back(' ');
+      sentence += token;
+    }
+    sentence.push_back('.');
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+}  // namespace semtag::data

@@ -1,0 +1,122 @@
+#ifndef SEMTAG_DATA_GENERATOR_H_
+#define SEMTAG_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/language.h"
+
+namespace semtag::data {
+
+/// Knobs of the class-conditional sentence model. Each synthetic dataset is
+/// an instance of this model; the three characteristics the paper studies
+/// map onto it directly:
+///   size        -> how many sentences are drawn
+///   label ratio -> the observed positive ratio used when drawing labels
+///   cleanliness -> neg_contamination / pos_contamination (observed labels
+///                  that disagree with the generating class, modelling the
+///                  missing-annotation noise of FUNNY/BOOK)
+struct GeneratorConfig {
+  /// Words available to this dataset: ids [0, bg_vocab) of the Language.
+  int bg_vocab = 4000;
+  /// Mean sentence length in tokens.
+  int avg_len = 18;
+
+  /// Per-token probability of a stopword.
+  double stopword_prob = 0.35;
+  /// Per-token probability of a word from the sentence's content topic.
+  double topic_prob = 0.25;
+
+  /// Positive sentences emit a word from `signal_topic` with this per-token
+  /// probability; this is the direct, linearly learnable class signal.
+  double signal_strength = 0.20;
+  /// Negative sentences emit signal words at signal_strength*signal_leak
+  /// (Table 8's N column: informative tokens also occur in negatives).
+  double signal_leak = 0.3;
+  /// Probability the sentence's content topic is class-consistent; below
+  /// 1.0, topics leak across classes.
+  double topic_purity = 0.9;
+  /// Probability a sentence expresses the class *compositionally*: positive
+  /// sentences mix BOTH of the first two positive topics, while negative
+  /// sentences use exactly ONE of them. Unigram statistics are then nearly
+  /// symmetric between classes, so bag-of-words models cannot pick the
+  /// signal up while contextual models can - the "complicated functions"
+  /// capability the paper attributes to deep models.
+  double conjunction = 0.0;
+
+  /// Topic providing the positive signal lexicon.
+  int signal_topic = 2;
+  /// Optional topic providing a negative-class lexicon (-1 = none);
+  /// sentiment tasks use real negative-sentiment words here.
+  int negative_signal_topic = -1;
+  /// Topics that positive sentences prefer as content topics.
+  std::vector<int> positive_topics = {2, 3};
+  /// Topics preferred by negatives (empty = all non-positive topics).
+  std::vector<int> negative_topics;
+
+  /// Fraction of positive signal slots replaced by *unique entity names*
+  /// (the BOOK effect: spoilers name book-specific characters; the signal
+  /// exists but lives in an open vocabulary no model can cover).
+  double entity_signal = 0.0;
+  /// Per-token probability of an incidental entity mention in any sentence.
+  double entity_rate = 0.0;
+  /// Size of this dataset's entity-name universe. Names are drawn Zipf-
+  /// distributed from it, so small universes mean the same names recur
+  /// constantly (learnable by BoW) while large ones model a true open
+  /// vocabulary where most names occur once or twice (the BOOK effect).
+  int entity_pool_size = 64;
+
+  /// P(generating class = positive | observed label = 0): dirty-label
+  /// contamination of the negatives (missing annotations).
+  double neg_contamination = 0.0;
+  /// P(generating class = negative | observed label = 1).
+  double pos_contamination = 0.0;
+
+  uint64_t seed = 1234;
+};
+
+/// Draws sentences conditioned on a class, per GeneratorConfig.
+class SentenceSampler {
+ public:
+  SentenceSampler(const Language* language, const GeneratorConfig& config);
+
+  /// Samples one sentence for generating class `true_label` (0/1).
+  std::string Sample(int true_label, Rng* rng);
+
+ private:
+  int SampleContentTopic(int true_label, Rng* rng);
+  int SampleTopicWordId(int topic, Rng* rng);
+  std::string NextEntity(Rng* rng);
+
+  const Language* language_;
+  GeneratorConfig config_;
+  ZipfTable background_zipf_;
+  ZipfTable stopword_zipf_;
+  ZipfTable topic_zipf_;
+  ZipfTable entity_zipf_;
+  int usable_topics_;
+  std::vector<int> negative_topics_;
+  /// Offset into the global entity-name space so different datasets use
+  /// disjoint names.
+  uint64_t entity_offset_;
+};
+
+/// Generates `n` records whose *observed* positive ratio is
+/// `observed_positive_ratio`, with contamination applied per the config.
+Dataset GenerateDataset(const Language& language,
+                        const GeneratorConfig& config, std::string name,
+                        int n, double observed_positive_ratio);
+
+/// Generates the synthetic "wiki" pretraining corpus: topically coherent,
+/// label-free sentences covering the whole language. This is what MiniBert
+/// pretrains on (the stand-in for Wikipedia).
+std::vector<std::string> GeneratePretrainCorpus(const Language& language,
+                                                int num_sentences,
+                                                int avg_len, uint64_t seed);
+
+}  // namespace semtag::data
+
+#endif  // SEMTAG_DATA_GENERATOR_H_

@@ -1,0 +1,65 @@
+#include "data/io.h"
+
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace semtag::data {
+
+Result<Dataset> LoadDatasetFromCsv(const std::string& path) {
+  SEMTAG_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  SEMTAG_ASSIGN_OR_RETURN(auto rows, ParseCsv(content));
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV: " + path);
+  }
+  // Resolve column positions from the header.
+  int text_col = -1;
+  int label_col = -1;
+  const auto& header = rows[0];
+  for (size_t c = 0; c < header.size(); ++c) {
+    const std::string name = ToLower(StripAsciiWhitespace(header[c]));
+    if (name == "text") text_col = static_cast<int>(c);
+    if (name == "label") label_col = static_cast<int>(c);
+  }
+  if (text_col < 0 || label_col < 0) {
+    return Status::InvalidArgument(
+        "CSV header must contain 'text' and 'label' columns: " + path);
+  }
+  Dataset dataset(std::filesystem::path(path).stem().string());
+  dataset.Reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    const size_t needed =
+        static_cast<size_t>(std::max(text_col, label_col)) + 1;
+    if (row.size() < needed) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu fields, need %zu", r, row.size(),
+                    needed));
+    }
+    const std::string label =
+        std::string(StripAsciiWhitespace(row[static_cast<size_t>(label_col)]));
+    if (label != "0" && label != "1") {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: label must be 0 or 1, got '%s'", r,
+                    label.c_str()));
+    }
+    Example e;
+    e.text = row[static_cast<size_t>(text_col)];
+    e.label = label == "1" ? 1 : 0;
+    e.true_label = e.label;
+    dataset.Add(std::move(e));
+  }
+  return dataset;
+}
+
+Status SaveDatasetToCsv(const Dataset& dataset, const std::string& path) {
+  CsvWriter writer;
+  writer.AddRow({"text", "label"});
+  for (const auto& e : dataset.examples()) {
+    writer.AddRow({e.text, std::to_string(e.label)});
+  }
+  return writer.WriteFile(path);
+}
+
+}  // namespace semtag::data

@@ -1,0 +1,22 @@
+#ifndef SEMTAG_DATA_IO_H_
+#define SEMTAG_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace semtag::data {
+
+/// Loads a labeled dataset from a CSV file with a `text,label` header
+/// (extra columns are ignored; column order is taken from the header;
+/// labels must be 0/1). This is how downstream users bring their own
+/// records into the pipeline.
+Result<Dataset> LoadDatasetFromCsv(const std::string& path);
+
+/// Writes a dataset as `text,label` CSV (round-trips with the loader).
+Status SaveDatasetToCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace semtag::data
+
+#endif  // SEMTAG_DATA_IO_H_

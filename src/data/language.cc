@@ -1,0 +1,93 @@
+#include "data/language.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace semtag::data {
+
+namespace {
+
+constexpr std::array<const char*, 60> kStopwords = {
+    "the",  "a",    "and",  "of",   "to",    "is",   "in",   "it",
+    "that", "this", "was",  "for",  "on",    "you",  "with", "as",
+    "are",  "be",   "at",   "have", "not",   "but",  "they", "we",
+    "his",  "her",  "she",  "he",   "had",   "so",   "my",   "or",
+    "an",   "if",   "from", "there", "what", "all",  "were", "when",
+    "your", "can",  "said", "which", "their", "will", "would", "them",
+    "been", "has",  "more", "who",   "its",  "did",  "one",  "out",
+    "up",   "do",   "get",  "about"};
+
+constexpr std::array<const char*, 32> kPositiveSentiment = {
+    "great",     "love",     "best",      "easy",     "delicious",
+    "friendly",  "amazing",  "excellent", "perfect",  "wonderful",
+    "awesome",   "fantastic", "nice",     "good",     "helpful",
+    "comfortable", "clean",  "fresh",     "fast",     "beautiful",
+    "recommend", "enjoyed",  "favorite",  "tasty",    "solid",
+    "reliable",  "quality",  "smooth",    "worth",    "pleasant",
+    "happy",     "lovely"};
+
+constexpr std::array<const char*, 32> kNegativeSentiment = {
+    "bad",      "worst",    "terrible", "awful",   "disappointing",
+    "slow",     "rude",     "dirty",    "broken",  "waste",
+    "horrible", "poor",     "cheap",    "bland",   "stale",
+    "cold",     "noisy",    "mess",     "refund",  "returned",
+    "cracked",  "useless",  "annoying", "boring",  "overpriced",
+    "mediocre", "greasy",   "smelly",   "cramped", "failed",
+    "wrong",    "lousy"};
+
+constexpr std::array<const char*, 24> kSyllables = {
+    "ba", "ren", "to", "mi", "sul", "ka", "dro", "ve",
+    "lin", "pa", "gor", "ti", "nu", "sha", "bel", "ro",
+    "zan", "fe", "mor", "li", "dus", "cho", "wi", "gla"};
+
+constexpr std::array<const char*, 20> kNameStarts = {
+    "Kor", "Mel", "Tar", "Vel", "Dra", "Sel", "Bran", "Lor",
+    "Fen", "Mar", "Cas", "Eli", "Ren", "Thal", "Vor", "Isa",
+    "Gal", "Nor", "Per", "Hal"};
+
+constexpr std::array<const char*, 16> kNameEnds = {
+    "vath", "indra", "ion",  "a",    "eth", "or",  "issa", "an",
+    "wyn",  "ric",   "elle", "us",   "ara", "en",  "old",  "ina"};
+
+/// Synthetic word for rank r: base-|kSyllables| expansion, at least two
+/// syllables, never colliding with another rank.
+std::string SyntheticWord(int r) {
+  const int base = static_cast<int>(kSyllables.size());
+  std::string w;
+  int x = r;
+  do {
+    w += kSyllables[static_cast<size_t>(x % base)];
+    x /= base;
+  } while (x > 0);
+  if (w.size() < 4) w += kSyllables[static_cast<size_t>(r % base)];
+  return w;
+}
+
+}  // namespace
+
+Language::Language(int vocab_size) {
+  SEMTAG_CHECK(vocab_size > kNumStopwords + 2 * kTopicSize);
+  words_.reserve(static_cast<size_t>(vocab_size));
+  for (const char* w : kStopwords) words_.emplace_back(w);
+  for (const char* w : kPositiveSentiment) words_.emplace_back(w);
+  for (const char* w : kNegativeSentiment) words_.emplace_back(w);
+  int r = 0;
+  while (static_cast<int>(words_.size()) < vocab_size) {
+    words_.push_back(SyntheticWord(r++));
+  }
+}
+
+std::string Language::EntityName(uint64_t i) {
+  std::string name = kNameStarts[i % kNameStarts.size()];
+  uint64_t x = i / kNameStarts.size();
+  name += kNameEnds[x % kNameEnds.size()];
+  x /= kNameEnds.size();
+  while (x > 0) {
+    name += kSyllables[x % kSyllables.size()];
+    x /= kSyllables.size();
+  }
+  return name;
+}
+
+}  // namespace semtag::data

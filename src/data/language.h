@@ -1,0 +1,66 @@
+#ifndef SEMTAG_DATA_LANGUAGE_H_
+#define SEMTAG_DATA_LANGUAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace semtag::data {
+
+/// The shared synthetic language from which every dataset (and the
+/// pretraining corpus) draws its words.
+///
+/// Words are identified by a global frequency rank (id 0 = most frequent)
+/// and organized as:
+///   - ids [0, kNumStopwords): real English stopwords ("the", "a", ...)
+///   - the remainder is partitioned into topics of kTopicSize consecutive
+///     ids. Topic 0 holds real positive-sentiment words, topic 1 real
+///     negative-sentiment words (so sentiment datasets and Table 8 read
+///     naturally); all later topics hold synthetic pronounceable words.
+///
+/// Topics are the unit of *semantic relatedness*: the pretraining corpus
+/// generator emits topically coherent sentences, so masked-LM pretraining
+/// learns to embed same-topic words nearby — which is exactly the mechanism
+/// by which the real BERT transfers Wikipedia knowledge to a small
+/// downstream dataset.
+class Language {
+ public:
+  static constexpr int kNumStopwords = 60;
+  static constexpr int kTopicSize = 32;
+
+  /// Builds a language with `vocab_size` words. Deterministic: the same
+  /// vocab_size always yields the same words.
+  explicit Language(int vocab_size);
+
+  int vocab_size() const { return static_cast<int>(words_.size()); }
+  const std::string& Word(int id) const { return words_[id]; }
+
+  /// Number of complete topics.
+  int num_topics() const {
+    return (vocab_size() - kNumStopwords) / kTopicSize;
+  }
+
+  /// Global word id of the k-th word (k in [0, kTopicSize)) of a topic.
+  int TopicWordId(int topic, int k) const {
+    return kNumStopwords + topic * kTopicSize + k;
+  }
+
+  /// First topic whose words all fall below this vocabulary bound; used to
+  /// pick per-dataset topics that stay inside the dataset's vocab range.
+  int TopicsWithinVocab(int bg_vocab) const {
+    const int t = (bg_vocab - kNumStopwords) / kTopicSize;
+    return std::max(0, std::min(t, num_topics()));
+  }
+
+  /// A capitalized synthetic proper name ("Korvath", "Melindra", ...) for
+  /// entity-heavy datasets (the BOOK character-name effect). Deterministic
+  /// in `i`; the id space is unbounded, modelling an open vocabulary.
+  static std::string EntityName(uint64_t i);
+
+ private:
+  std::vector<std::string> words_;
+};
+
+}  // namespace semtag::data
+
+#endif  // SEMTAG_DATA_LANGUAGE_H_

@@ -1,0 +1,60 @@
+#ifndef SEMTAG_DATA_SPECS_H_
+#define SEMTAG_DATA_SPECS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/language.h"
+
+namespace semtag::data {
+
+/// Everything known about one of the paper's 21 datasets plus the synthetic
+/// stand-in's generator configuration.
+struct DatasetSpec {
+  std::string name;          // e.g. "SUGG"
+  std::string application;   // "Tip", "Humor", "Spoiler", ...
+  int64_t paper_records;     // Table 3 "#Record"
+  double paper_positive;     // Table 3 "% Positive" as a fraction
+  int64_t paper_vocab;       // Table 3 "Vocab"
+  bool dirty;                // Table 3 cleanliness
+  double train_fraction;     // 0.8 for most, 0.93 for SUGG (Section 5.1)
+
+  int scaled_records;        // records actually generated (see DESIGN.md)
+  GeneratorConfig generator; // synthetic stand-in
+
+  /// Published reference values from Figure 11, used by EXPERIMENTS.md to
+  /// record paper-vs-measured.
+  double paper_f1_bert;
+  double paper_f1_svm;
+};
+
+/// The shared synthetic language (never destroyed; safe to call anywhere).
+const Language& SharedLanguage();
+
+/// All 21 specs in Table 3 order (19 original + FUNNY* + BOOK*).
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// Looks up a spec by dataset name.
+Result<DatasetSpec> FindSpec(const std::string& name);
+
+/// Generates the synthetic dataset for a spec.
+Dataset BuildDataset(const DatasetSpec& spec);
+
+/// Generates a larger pool than `spec.scaled_records` from the same
+/// distribution; used by the sweeps (Figures 8-10) that subsample at
+/// several sizes/ratios.
+Dataset BuildDatasetPool(const DatasetSpec& spec, int num_records);
+
+/// True when the paper classifies this dataset as large (>= 100K records).
+bool IsLarge(const DatasetSpec& spec);
+
+/// True when the paper classifies this dataset as high-ratio (>= 25%).
+bool IsHighRatio(const DatasetSpec& spec);
+
+}  // namespace semtag::data
+
+#endif  // SEMTAG_DATA_SPECS_H_

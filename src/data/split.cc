@@ -1,0 +1,74 @@
+#include "data/split.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace semtag::data {
+
+namespace {
+
+/// Shuffled indices of records with the given label.
+std::vector<size_t> ShuffledClassIndices(const Dataset& dataset, int label,
+                                         Rng* rng) {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset[i].label == label) indices.push_back(i);
+  }
+  rng->Shuffle(&indices);
+  return indices;
+}
+
+}  // namespace
+
+std::pair<Dataset, Dataset> StratifiedSplit(const Dataset& dataset,
+                                            double train_fraction,
+                                            Rng* rng) {
+  SEMTAG_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  Dataset train(dataset.name() + "/train");
+  Dataset test(dataset.name() + "/test");
+  for (int label : {1, 0}) {
+    const auto indices = ShuffledClassIndices(dataset, label, rng);
+    const size_t n_train = static_cast<size_t>(
+        std::lround(static_cast<double>(indices.size()) * train_fraction));
+    for (size_t i = 0; i < indices.size(); ++i) {
+      (i < n_train ? train : test).Add(dataset[indices[i]]);
+    }
+  }
+  train.Shuffle(rng);
+  test.Shuffle(rng);
+  return {std::move(train), std::move(test)};
+}
+
+std::vector<Dataset> StratifiedFolds(const Dataset& dataset, int k,
+                                     Rng* rng) {
+  SEMTAG_CHECK(k >= 2 && static_cast<size_t>(k) <= dataset.size());
+  std::vector<Dataset> folds;
+  folds.reserve(static_cast<size_t>(k));
+  for (int f = 0; f < k; ++f) {
+    folds.emplace_back(dataset.name() + "/fold" + std::to_string(f));
+  }
+  for (int label : {1, 0}) {
+    const auto indices = ShuffledClassIndices(dataset, label, rng);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      folds[i % static_cast<size_t>(k)].Add(dataset[indices[i]]);
+    }
+  }
+  for (auto& fold : folds) fold.Shuffle(rng);
+  return folds;
+}
+
+Dataset MergeFoldsExcept(const std::vector<Dataset>& folds, int holdout) {
+  SEMTAG_CHECK(holdout >= 0 &&
+               holdout < static_cast<int>(folds.size()));
+  Dataset merged("cv/train");
+  for (int f = 0; f < static_cast<int>(folds.size()); ++f) {
+    if (f == holdout) continue;
+    for (const auto& e : folds[static_cast<size_t>(f)].examples()) {
+      merged.Add(e);
+    }
+  }
+  return merged;
+}
+
+}  // namespace semtag::data

@@ -1,0 +1,31 @@
+#ifndef SEMTAG_DATA_SPLIT_H_
+#define SEMTAG_DATA_SPLIT_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace semtag::data {
+
+/// Stratified train/test split: shuffles within each class and keeps the
+/// positive ratio (to within rounding) identical on both sides. This is
+/// what small imbalanced datasets need — a plain random split of QUOTE
+/// (1.6% positive) can easily leave the test set with no positives at all.
+std::pair<Dataset, Dataset> StratifiedSplit(const Dataset& dataset,
+                                            double train_fraction,
+                                            Rng* rng);
+
+/// K folds for cross-validation, stratified by label. Fold sizes differ by
+/// at most one record per class. Requires 2 <= k <= size.
+std::vector<Dataset> StratifiedFolds(const Dataset& dataset, int k,
+                                     Rng* rng);
+
+/// Merges all folds except `holdout` into a training set (cross-validation
+/// convenience).
+Dataset MergeFoldsExcept(const std::vector<Dataset>& folds, int holdout);
+
+}  // namespace semtag::data
+
+#endif  // SEMTAG_DATA_SPLIT_H_

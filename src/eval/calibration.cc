@@ -1,0 +1,62 @@
+#include "eval/calibration.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "eval/metrics.h"
+
+namespace semtag::eval {
+
+CalibrationResult CalibrateMaxF1(const std::vector<int>& labels,
+                                 const std::vector<double>& scores,
+                                 int num_thresholds) {
+  SEMTAG_CHECK(labels.size() == scores.size());
+  SEMTAG_CHECK(num_thresholds >= 2);
+  CalibrationResult result;
+  if (scores.empty()) return result;
+  const auto [mn_it, mx_it] =
+      std::minmax_element(scores.begin(), scores.end());
+  const double lo = *mn_it;
+  const double hi = *mx_it;
+  // Sort once; sweep thresholds by two pointers for O(n log n + T).
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  int64_t total_pos = 0;
+  for (int y : labels) total_pos += (y == 1);
+
+  result.best_f1 = -1.0;
+  size_t cursor = 0;  // first index in `order` with score >= threshold
+  // Counts among predicted positives (score >= threshold).
+  int64_t tp = total_pos;
+  int64_t predicted_pos = static_cast<int64_t>(scores.size());
+  for (int t = 0; t < num_thresholds; ++t) {
+    const double threshold =
+        lo + (hi - lo) * static_cast<double>(t) /
+                 static_cast<double>(num_thresholds - 1);
+    while (cursor < order.size() && scores[order[cursor]] < threshold) {
+      tp -= (labels[order[cursor]] == 1);
+      --predicted_pos;
+      ++cursor;
+    }
+    const double precision =
+        predicted_pos == 0 ? 0.0
+                           : static_cast<double>(tp) / predicted_pos;
+    const double recall =
+        total_pos == 0 ? 0.0 : static_cast<double>(tp) / total_pos;
+    const double f1 = (precision + recall) == 0.0
+                          ? 0.0
+                          : 2.0 * precision * recall / (precision + recall);
+    result.thresholds.push_back(threshold);
+    result.f1_curve.push_back(f1);
+    if (f1 > result.best_f1) {
+      result.best_f1 = f1;
+      result.best_threshold = threshold;
+    }
+  }
+  return result;
+}
+
+}  // namespace semtag::eval

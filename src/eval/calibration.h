@@ -1,0 +1,28 @@
+#ifndef SEMTAG_EVAL_CALIBRATION_H_
+#define SEMTAG_EVAL_CALIBRATION_H_
+
+#include <vector>
+
+namespace semtag::eval {
+
+/// Result of a calibration-threshold sweep (the appendix's technique for
+/// imbalanced datasets).
+struct CalibrationResult {
+  double best_threshold = 0.0;
+  double best_f1 = 0.0;
+  /// F1 at every sampled threshold, in sweep order.
+  std::vector<double> f1_curve;
+  std::vector<double> thresholds;
+};
+
+/// Sweeps `num_thresholds` evenly spaced thresholds over [min(scores),
+/// max(scores)] and returns the threshold with the maximum F1 — exactly the
+/// appendix protocol ("we fix the number of thresholds and sample
+/// thresholds from the range of maximum and minimum scores").
+CalibrationResult CalibrateMaxF1(const std::vector<int>& labels,
+                                 const std::vector<double>& scores,
+                                 int num_thresholds = 200);
+
+}  // namespace semtag::eval
+
+#endif  // SEMTAG_EVAL_CALIBRATION_H_

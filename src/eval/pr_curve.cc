@@ -1,0 +1,69 @@
+#include "eval/pr_curve.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace semtag::eval {
+
+namespace {
+
+/// Indices sorted by score descending (stable for determinism).
+std::vector<size_t> DescendingOrder(const std::vector<double>& scores) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<PrPoint> PrecisionRecallCurve(
+    const std::vector<int>& labels, const std::vector<double>& scores) {
+  SEMTAG_CHECK(labels.size() == scores.size());
+  int64_t total_pos = 0;
+  for (int y : labels) total_pos += (y == 1);
+  std::vector<PrPoint> curve;
+  if (total_pos == 0 || labels.empty()) return curve;
+
+  const auto order = DescendingOrder(scores);
+  int64_t tp = 0;
+  int64_t predicted = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    tp += (labels[order[i]] == 1);
+    ++predicted;
+    // Emit a point only at distinct-score boundaries: thresholding at this
+    // score includes all ties.
+    if (i + 1 < order.size() &&
+        scores[order[i + 1]] == scores[order[i]]) {
+      continue;
+    }
+    curve.push_back(PrPoint{
+        scores[order[i]],
+        static_cast<double>(tp) / static_cast<double>(predicted),
+        static_cast<double>(tp) / static_cast<double>(total_pos)});
+  }
+  return curve;
+}
+
+double AveragePrecision(const std::vector<int>& labels,
+                        const std::vector<double>& scores) {
+  SEMTAG_CHECK(labels.size() == scores.size());
+  int64_t total_pos = 0;
+  for (int y : labels) total_pos += (y == 1);
+  if (total_pos == 0) return 0.0;
+  // AP = sum over curve points of (recall_i - recall_{i-1}) * precision_i.
+  const auto curve = PrecisionRecallCurve(labels, scores);
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (const auto& p : curve) {
+    ap += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+  }
+  return ap;
+}
+
+}  // namespace semtag::eval

@@ -1,0 +1,30 @@
+#ifndef SEMTAG_EVAL_PR_CURVE_H_
+#define SEMTAG_EVAL_PR_CURVE_H_
+
+#include <vector>
+
+namespace semtag::eval {
+
+/// One operating point of a precision-recall curve.
+struct PrPoint {
+  double threshold;
+  double precision;
+  double recall;
+};
+
+/// The precision-recall curve of real-valued scores against 0/1 labels:
+/// one point per distinct score (descending), i.e. every achievable
+/// operating point. Recall is non-decreasing along the returned vector.
+std::vector<PrPoint> PrecisionRecallCurve(
+    const std::vector<int>& labels, const std::vector<double>& scores);
+
+/// Average precision: the area under the PR curve computed as
+/// sum over positives of precision-at-that-recall step (the standard
+/// step-wise AP, sklearn's average_precision_score). Returns 0 when there
+/// are no positives.
+double AveragePrecision(const std::vector<int>& labels,
+                        const std::vector<double>& scores);
+
+}  // namespace semtag::eval
+
+#endif  // SEMTAG_EVAL_PR_CURVE_H_

@@ -1,0 +1,157 @@
+#include "eval/stats.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace semtag::eval {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+std::string TTestResult::Stars() const {
+  if (p_value < 0.001) return "***";
+  if (p_value < 0.01) return "**";
+  if (p_value < 0.05) return "*";
+  return "n.s.";
+}
+
+namespace {
+
+/// Lentz's continued fraction for the incomplete beta function.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  SEMTAG_CHECK(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front =
+      std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  SEMTAG_CHECK(df > 0.0);
+  const double x = df / (df + t * t);
+  const double p = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  SEMTAG_CHECK(a.size() >= 2 && b.size() >= 2);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  const double sa = StdDev(a);
+  const double sb = StdDev(b);
+  const double va = sa * sa / na;
+  const double vb = sb * sb / nb;
+  TTestResult result;
+  if (va + vb == 0.0) {
+    // Identical constant samples: no evidence of a difference.
+    result.t = 0.0;
+    result.degrees_of_freedom = na + nb - 2.0;
+    result.p_value = ma == mb ? 1.0 : 0.0;
+    return result;
+  }
+  result.t = (ma - mb) / std::sqrt(va + vb);
+  result.degrees_of_freedom =
+      (va + vb) * (va + vb) /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  const double abs_t = std::fabs(result.t);
+  result.p_value =
+      2.0 * (1.0 - StudentTCdf(abs_t, result.degrees_of_freedom));
+  return result;
+}
+
+ConfidenceInterval BootstrapF1Interval(const std::vector<int>& labels,
+                                       const std::vector<int>& predictions,
+                                       int resamples, double alpha,
+                                       uint64_t seed) {
+  SEMTAG_CHECK(labels.size() == predictions.size());
+  SEMTAG_CHECK(!labels.empty());
+  SEMTAG_CHECK(resamples >= 10);
+  SEMTAG_CHECK(alpha > 0.0 && alpha < 1.0);
+  Rng rng(seed);
+  std::vector<double> f1s;
+  f1s.reserve(static_cast<size_t>(resamples));
+  std::vector<int> boot_labels(labels.size());
+  std::vector<int> boot_preds(labels.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (size_t i = 0; i < labels.size(); ++i) {
+      const size_t j = rng.Uniform(labels.size());
+      boot_labels[i] = labels[j];
+      boot_preds[i] = predictions[j];
+    }
+    f1s.push_back(F1Score(boot_labels, boot_preds));
+  }
+  std::sort(f1s.begin(), f1s.end());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(f1s.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, f1s.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return f1s[lo] * (1.0 - frac) + f1s[hi] * frac;
+  };
+  return ConfidenceInterval{quantile(alpha / 2.0),
+                            quantile(1.0 - alpha / 2.0)};
+}
+
+}  // namespace semtag::eval

@@ -1,0 +1,58 @@
+#ifndef SEMTAG_EVAL_STATS_H_
+#define SEMTAG_EVAL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace semtag::eval {
+
+/// Sample mean.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator).
+double StdDev(const std::vector<double>& xs);
+
+/// Result of a two-sample Welch t-test.
+struct TTestResult {
+  double t = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// Two-tailed p-value.
+  double p_value = 1.0;
+
+  /// Significance stars as in the paper's Figure 13:
+  /// "n.s." (p>0.05), "*" (p<0.05), "**" (p<0.01), "***" (p<0.001).
+  std::string Stars() const;
+};
+
+/// Welch's unequal-variance t-test (what "Student's t test" in GraphPad
+/// defaults to for unequal variances). Requires >= 2 samples per group.
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// CDF of Student's t distribution with `df` degrees of freedom, via the
+/// regularized incomplete beta function.
+double StudentTCdf(double t, double df);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// A two-sided confidence interval.
+struct ConfidenceInterval {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Percentile-bootstrap confidence interval for the F1 of fixed
+/// predictions against labels: resamples (label, prediction) pairs with
+/// replacement `resamples` times and takes the alpha/2 and 1-alpha/2
+/// quantiles. Deterministic under `seed`.
+ConfidenceInterval BootstrapF1Interval(const std::vector<int>& labels,
+                                       const std::vector<int>& predictions,
+                                       int resamples = 1000,
+                                       double alpha = 0.05,
+                                       uint64_t seed = 1);
+
+}  // namespace semtag::eval
+
+#endif  // SEMTAG_EVAL_STATS_H_

@@ -1,0 +1,164 @@
+#include "la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace semtag::la {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    SEMTAG_CHECK(rows[r].size() == m.cols());
+    std::copy(rows[r].begin(), rows[r].end(), m.Row(r));
+  }
+  return m;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Add(const Matrix& other) {
+  SEMTAG_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  SEMTAG_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Mul(const Matrix& other) {
+  SEMTAG_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::Scale(float s) {
+  for (auto& x : data_) x *= s;
+}
+
+void Matrix::Axpy(float s, const Matrix& other) {
+  SEMTAG_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+float Matrix::Sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return static_cast<float>(acc);
+}
+
+float Matrix::Min() const {
+  SEMTAG_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Matrix::Max() const {
+  SEMTAG_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Matrix::Norm() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+std::string Matrix::ToString() const {
+  std::string out = "[";
+  for (size_t r = 0; r < rows_; ++r) {
+    if (r > 0) out += ", ";
+    out += "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) out += ", ";
+      out += StrFormat("%g", (*this)(r, c));
+    }
+    out += "]";
+  }
+  out += "]";
+  return out;
+}
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  SEMTAG_CHECK(a.cols() == b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  *out = Matrix(m, n);
+  // ikj loop order: streams through b and out rows sequentially.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out->Row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(kk);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  SEMTAG_CHECK(a.rows() == b.rows());
+  const size_t m = a.cols(), k = a.rows(), n = b.cols();
+  *out = Matrix(m, n);
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.Row(kk);
+    const float* brow = b.Row(kk);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out->Row(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  SEMTAG_CHECK(a.cols() == b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  *out = Matrix(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      orow[j] = Dot(arow, b.Row(j), k);
+    }
+  }
+}
+
+void AddRowBroadcast(Matrix* m, const Matrix& row) {
+  SEMTAG_CHECK(row.rows() == 1 && row.cols() == m->cols());
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* mrow = m->Row(r);
+    const float* rrow = row.Row(0);
+    for (size_t c = 0; c < m->cols(); ++c) mrow[c] += rrow[c];
+  }
+}
+
+Matrix SumRows(const Matrix& m) {
+  Matrix out(1, m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.Row(r);
+    float* orow = out.Row(0);
+    for (size_t c = 0; c < m.cols(); ++c) orow[c] += row[c];
+  }
+  return out;
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace semtag::la

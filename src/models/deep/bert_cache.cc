@@ -1,0 +1,138 @@
+#include "models/deep/bert_cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "data/generator.h"
+#include "data/specs.h"
+#include "nn/serialize.h"
+#include "text/vocabulary.h"
+
+namespace semtag::models {
+
+namespace {
+
+/// Pretraining-scale constants (see DESIGN.md "Scaling").
+constexpr int kCorpusSentences = 6000;
+constexpr int kCorpusAvgLen = 16;
+constexpr uint64_t kCorpusSeed = 999;
+constexpr int kRobertaCorpusSentences = 8000;
+/// Bump to invalidate cached checkpoints after pretraining changes.
+constexpr int kPretrainVersion = 3;
+
+struct VariantSetup {
+  BertConfig config;
+  PretrainOptions pretrain;
+  int corpus_sentences;
+};
+
+VariantSetup SetupFor(BertVariant variant) {
+  VariantSetup s;
+  s.corpus_sentences = kCorpusSentences;
+  switch (variant) {
+    case BertVariant::kBert:
+      s.config.seed = 11;
+      s.pretrain.seed = 99;
+      s.pretrain.epochs = 12;
+      break;
+    case BertVariant::kAlbert:
+      s.config.seed = 12;
+      s.config.share_layers = true;
+      s.pretrain.seed = 199;
+      s.pretrain.epochs = 12;
+      break;
+    case BertVariant::kRoberta:
+      s.config.seed = 13;
+      s.pretrain.seed = 299;
+      s.pretrain.epochs = 14;
+      s.corpus_sentences = kRobertaCorpusSentences;
+      break;
+  }
+  return s;
+}
+
+text::Vocabulary PretrainVocabulary(const std::vector<std::string>& corpus) {
+  text::VocabularyBuilder builder;
+  for (const auto& s : corpus) {
+    builder.AddDocument(text::Tokenize(s));
+  }
+  return builder.Build(/*min_count=*/2, /*max_size=*/8000);
+}
+
+}  // namespace
+
+const char* BertVariantName(BertVariant variant) {
+  switch (variant) {
+    case BertVariant::kBert:
+      return "BERT";
+    case BertVariant::kAlbert:
+      return "ALBERT";
+    case BertVariant::kRoberta:
+      return "ROBERTA";
+  }
+  return "?";
+}
+
+std::string CacheDir() {
+  const char* env = std::getenv("SEMTAG_CACHE_DIR");
+  std::string dir;
+  if (env != nullptr) {
+    dir = env;
+  } else if (const char* home = std::getenv("HOME"); home != nullptr) {
+    dir = std::string(home) + "/.cache/semtag";
+  } else {
+    dir = "semtag_cache";
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    SEMTAG_LOG(kWarning, "cannot create cache dir %s: %s", dir.c_str(),
+               ec.message().c_str());
+  }
+  return dir;
+}
+
+const MiniBertBackbone& GetPretrainedBackbone(BertVariant variant) {
+  static std::map<BertVariant, std::unique_ptr<MiniBertBackbone>>& cache =
+      *new std::map<BertVariant, std::unique_ptr<MiniBertBackbone>>();
+  auto it = cache.find(variant);
+  if (it != cache.end()) return *it->second;
+
+  const VariantSetup setup = SetupFor(variant);
+  const auto corpus = data::GeneratePretrainCorpus(
+      data::SharedLanguage(), setup.corpus_sentences, kCorpusAvgLen,
+      kCorpusSeed);
+  auto backbone = std::make_unique<MiniBertBackbone>(
+      setup.config, PretrainVocabulary(corpus));
+
+  const std::string checkpoint =
+      CacheDir() + "/pretrained_" + BertVariantName(variant) + "_v" +
+      std::to_string(kPretrainVersion) + ".bin";
+  auto params = backbone->Parameters();
+  Status load = nn::LoadCheckpoint(checkpoint, &params);
+  if (load.ok()) {
+    SEMTAG_LOG(kInfo, "loaded pretrained %s from %s",
+               BertVariantName(variant), checkpoint.c_str());
+  } else {
+    SEMTAG_LOG(kInfo, "pretraining %s with MLM (%d sentences, %d epochs)...",
+               BertVariantName(variant), setup.corpus_sentences,
+               setup.pretrain.epochs);
+    WallTimer timer;
+    backbone->Pretrain(corpus, setup.pretrain);
+    SEMTAG_LOG(kInfo, "pretrained %s in %.1fs", BertVariantName(variant),
+               timer.ElapsedSeconds());
+    const Status save = nn::SaveCheckpoint(checkpoint, backbone->Parameters());
+    if (!save.ok()) {
+      SEMTAG_LOG(kWarning, "cannot save checkpoint: %s",
+                 save.ToString().c_str());
+    }
+  }
+  const MiniBertBackbone& ref = *backbone;
+  cache[variant] = std::move(backbone);
+  return ref;
+}
+
+}  // namespace semtag::models

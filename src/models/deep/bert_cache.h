@@ -1,0 +1,35 @@
+#ifndef SEMTAG_MODELS_DEEP_BERT_CACHE_H_
+#define SEMTAG_MODELS_DEEP_BERT_CACHE_H_
+
+#include <memory>
+#include <string>
+
+#include "models/deep/mini_bert.h"
+
+namespace semtag::models {
+
+/// The three pretrained-transformer variants the paper compares.
+enum class BertVariant { kBert, kAlbert, kRoberta };
+
+/// Display name ("BERT", "ALBERT", "ROBERTA").
+const char* BertVariantName(BertVariant variant);
+
+/// Directory used to persist pretrained checkpoints and experiment results
+/// across processes (each bench binary is a separate process). Resolved
+/// from $SEMTAG_CACHE_DIR, else $HOME/.cache/semtag, else
+/// "./semtag_cache"; created on first use.
+std::string CacheDir();
+
+/// Returns the shared pretrained backbone for a variant. The first call in
+/// a process loads the checkpoint from CacheDir(); if absent, it generates
+/// the synthetic wiki corpus, pretrains with MLM (tens of seconds), and
+/// saves the checkpoint. Thread-compatible (benches are single-threaded).
+///
+/// BERT/ALBERT/ROBERTA differ exactly as the real models do at this scale:
+/// ALBERT shares encoder parameters across layers; ROBERTA pretrains longer
+/// on more data (dynamic masking falls out of re-sampling masks per step).
+const MiniBertBackbone& GetPretrainedBackbone(BertVariant variant);
+
+}  // namespace semtag::models
+
+#endif  // SEMTAG_MODELS_DEEP_BERT_CACHE_H_

@@ -1,0 +1,92 @@
+#include "models/deep/embedding_models.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "nn/schedule.h"
+
+namespace semtag::models {
+
+BertFeaturizer::BertFeaturizer(const MiniBertBackbone* backbone)
+    : backbone_(backbone), rng_(4242) {}
+
+std::vector<float> BertFeaturizer::Embed(std::string_view text) const {
+  const auto ids = backbone_->EncodeIds(text);
+  nn::Variable hidden =
+      backbone_->Encode(ids, &rng_, /*training=*/false);
+  const la::Matrix& h = hidden.value();
+  return std::vector<float>(h.Row(0), h.Row(0) + h.cols());
+}
+
+size_t BertFeaturizer::dim() const {
+  return static_cast<size_t>(backbone_->config().dim);
+}
+
+EmbeddingLinearModel::EmbeddingLinearModel(std::string display_name,
+                                           const MiniBertBackbone* backbone,
+                                           EmbeddingLinearOptions options)
+    : display_name_(std::move(display_name)),
+      options_(options),
+      featurizer_(backbone) {}
+
+Status EmbeddingLinearModel::Train(const data::Dataset& train) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+  WallTimer timer;
+  const size_t d = featurizer_.dim();
+  std::vector<std::vector<float>> features;
+  features.reserve(train.size());
+  for (const auto& e : train.examples()) {
+    features.push_back(featurizer_.Embed(e.text));
+  }
+  const auto labels = train.Labels();
+  weights_.assign(d, 0.0f);
+  bias_ = 0.0f;
+  Rng rng(options_.seed);
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  nn::InverseTimeDecayLr schedule(options_.learning_rate, 1e-3);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      const double lr = schedule.Next();
+      const auto& x = features[i];
+      double z = bias_;
+      for (size_t j = 0; j < d; ++j) z += weights_[j] * x[j];
+      double dz = 0.0;
+      if (options_.hinge) {
+        const double y = labels[i] == 1 ? 1.0 : -1.0;
+        if (y * z < 1.0) dz = -y;
+      } else {
+        const double p = 1.0 / (1.0 + std::exp(-z));
+        dz = p - labels[i];
+      }
+      if (dz != 0.0) {
+        for (size_t j = 0; j < d; ++j) {
+          weights_[j] -= static_cast<float>(lr * dz * x[j]);
+        }
+        bias_ -= static_cast<float>(lr * dz);
+      }
+      if (options_.l2 > 0.0) {
+        const float shrink = static_cast<float>(1.0 - lr * options_.l2);
+        for (auto& w : weights_) w *= shrink;
+      }
+    }
+  }
+  trained_ = true;
+  set_train_seconds(timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+double EmbeddingLinearModel::Score(std::string_view text) const {
+  SEMTAG_CHECK(trained_);
+  const auto x = featurizer_.Embed(text);
+  double z = bias_;
+  for (size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  if (options_.hinge) return z;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace semtag::models

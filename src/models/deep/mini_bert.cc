@@ -1,0 +1,265 @@
+#include "models/deep/mini_bert.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "la/init.h"
+
+namespace semtag::models {
+
+namespace {
+
+text::SequenceEncoderOptions EncoderOptionsFor(const BertConfig& config) {
+  text::SequenceEncoderOptions opts;
+  opts.max_len = config.max_len;
+  opts.add_cls = true;
+  return opts;
+}
+
+}  // namespace
+
+MiniBertBackbone::MiniBertBackbone(const BertConfig& config,
+                                   text::Vocabulary word_vocab)
+    : config_(config),
+      encoder_(EncoderOptionsFor(config)),
+      dropout_rng_(config.seed ^ 0xd00d) {
+  encoder_.SetVocabulary(std::move(word_vocab));
+  Rng rng(config.seed);
+  token_embedding_ = std::make_unique<nn::Embedding>(
+      static_cast<size_t>(encoder_.vocab_size()),
+      static_cast<size_t>(config_.dim), &rng);
+  la::Matrix pos(static_cast<size_t>(config_.max_len),
+                 static_cast<size_t>(config_.dim));
+  la::GaussianInit(&pos, &rng, 0.02f);
+  position_table_ = nn::Variable(std::move(pos), /*requires_grad=*/true);
+  embedding_norm_ = std::make_unique<nn::LayerNormLayer>(
+      static_cast<size_t>(config_.dim));
+  const int distinct_layers = config_.share_layers ? 1 : config_.layers;
+  for (int l = 0; l < distinct_layers; ++l) {
+    layers_.push_back(std::make_unique<nn::TransformerEncoderLayer>(
+        static_cast<size_t>(config_.dim),
+        static_cast<size_t>(config_.heads),
+        static_cast<size_t>(config_.ffn), &rng));
+  }
+  mlm_bias_ = nn::Variable(
+      la::Matrix(1, static_cast<size_t>(encoder_.vocab_size())),
+      /*requires_grad=*/true);
+}
+
+la::Matrix MiniBertBackbone::AttentionMask(
+    const std::vector<int32_t>& ids) const {
+  const size_t L = ids.size();
+  la::Matrix mask(L, L);
+  for (size_t j = 0; j < L; ++j) {
+    if (ids[j] == text::kPadId) {
+      for (size_t i = 0; i < L; ++i) mask(i, j) = -1e9f;
+    }
+  }
+  return mask;
+}
+
+std::vector<int32_t> MiniBertBackbone::EncodeIds(
+    std::string_view text) const {
+  return encoder_.Encode(text);
+}
+
+nn::Variable MiniBertBackbone::Encode(const std::vector<int32_t>& ids,
+                                      Rng* rng, bool training) const {
+  SEMTAG_CHECK(static_cast<int>(ids.size()) == config_.max_len);
+  nn::Variable h = token_embedding_->Forward(ids);
+  h = nn::Add(h, position_table_);
+  h = embedding_norm_->Forward(h);
+  h = nn::Dropout(h, config_.dropout, rng, training);
+  const la::Matrix mask = AttentionMask(ids);
+  for (int l = 0; l < config_.layers; ++l) {
+    const auto& layer =
+        layers_[config_.share_layers ? 0 : static_cast<size_t>(l)];
+    h = layer->Forward(h, mask, config_.dropout, rng, training);
+  }
+  return h;
+}
+
+std::vector<nn::Variable> MiniBertBackbone::Parameters() const {
+  std::vector<nn::Variable> params;
+  token_embedding_->CollectParameters(&params);
+  params.push_back(position_table_);
+  embedding_norm_->CollectParameters(&params);
+  for (const auto& layer : layers_) layer->CollectParameters(&params);
+  params.push_back(mlm_bias_);
+  return params;
+}
+
+std::unique_ptr<MiniBertBackbone> MiniBertBackbone::Clone() const {
+  auto clone = std::make_unique<MiniBertBackbone>(
+      config_, encoder_.word_vocabulary());
+  const auto src = Parameters();
+  const auto dst = clone->Parameters();
+  SEMTAG_CHECK(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i].node()->value = src[i].value();
+  }
+  return clone;
+}
+
+PretrainStats MiniBertBackbone::Pretrain(
+    const std::vector<std::string>& corpus, const PretrainOptions& options) {
+  PretrainStats stats;
+  Rng rng(options.seed);
+  nn::Adam optimizer(Parameters(), static_cast<float>(options.learning_rate));
+  const int32_t vocab = vocab_size();
+  std::vector<size_t> order(corpus.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  int64_t steps = 0;
+  double loss_acc = 0.0;
+  int64_t loss_count = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    int in_batch = 0;
+    for (size_t idx : order) {
+      std::vector<int32_t> ids = encoder_.Encode(corpus[idx]);
+      // Select maskable positions (real words only).
+      std::vector<int32_t> positions;
+      std::vector<int32_t> targets;
+      std::vector<int32_t> corrupted = ids;
+      for (int32_t p = 0; p < static_cast<int32_t>(ids.size()); ++p) {
+        const int32_t id = ids[static_cast<size_t>(p)];
+        if (id == text::kPadId || id == text::kClsId) continue;
+        if (!rng.Bernoulli(options.mask_prob)) continue;
+        positions.push_back(p);
+        targets.push_back(id);
+        const double u = rng.UniformDouble();
+        if (u < 0.8) {
+          corrupted[static_cast<size_t>(p)] = text::kMaskId;
+        } else if (u < 0.9) {
+          corrupted[static_cast<size_t>(p)] = static_cast<int32_t>(
+              text::kNumSpecialTokens +
+              rng.Uniform(static_cast<uint64_t>(
+                  vocab - text::kNumSpecialTokens)));
+        }  // else keep the original token
+      }
+      if (positions.empty()) continue;
+      nn::Variable hidden = Encode(corrupted, &rng, /*training=*/true);
+      nn::Variable picked = nn::GatherRows(hidden, positions);
+      // Tied-weight MLM head: logits = picked * E^T + bias.
+      nn::Variable logits = nn::AddRowBroadcast(
+          nn::MatMulBT(picked, token_embedding_->table()), mlm_bias_);
+      nn::Variable loss = nn::SoftmaxCrossEntropy(logits, targets);
+      loss_acc += loss.value()(0, 0);
+      ++loss_count;
+      nn::Backward(loss);
+      if (++in_batch >= options.batch_size) {
+        optimizer.ClipGradNorm(5.0f);
+        optimizer.Step();
+        in_batch = 0;
+      }
+      ++steps;
+    }
+    if (in_batch > 0) {
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+    }
+    const double mean_loss =
+        loss_count ? loss_acc / static_cast<double>(loss_count) : 0.0;
+    SEMTAG_LOG(kInfo, "MLM pretrain epoch %d: mean loss %.3f (%lld steps)",
+               epoch, mean_loss, static_cast<long long>(steps));
+    if (epoch == 0) stats.first_epoch_loss = mean_loss;
+    stats.last_epoch_loss = mean_loss;
+    loss_acc = 0.0;
+    loss_count = 0;
+  }
+  return stats;
+}
+
+// ------------------------------------------------------------- MiniBert
+
+MiniBert::MiniBert(std::string display_name,
+                   const MiniBertBackbone& backbone,
+                   BertFinetuneOptions options)
+    : display_name_(std::move(display_name)),
+      options_(options),
+      backbone_(backbone.Clone()),
+      rng_(options.seed) {
+  Rng init_rng(options_.seed ^ 0xbeef);
+  cls_head_ = std::make_unique<nn::Linear>(
+      static_cast<size_t>(backbone_->config().dim), 2, &init_rng);
+}
+
+Status MiniBert::Train(const data::Dataset& train_full) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (train_full.empty()) return Status::InvalidArgument("empty training set");
+  WallTimer timer;
+  data::Dataset train = train_full.Take(options_.max_train_examples);
+  if (train.size() < train_full.size()) {
+    SEMTAG_LOG(kInfo, "%s: capped training set %zu -> %zu (GPU-budget cap, "
+               "see DESIGN.md)", display_name_.c_str(), train_full.size(),
+               train.size());
+  }
+  // Pre-encode once.
+  std::vector<std::vector<int32_t>> encoded;
+  encoded.reserve(train.size());
+  for (const auto& e : train.examples()) {
+    encoded.push_back(backbone_->EncodeIds(e.text));
+  }
+  const auto labels = train.Labels();
+
+  std::vector<nn::Variable> params = backbone_->Parameters();
+  cls_head_->CollectParameters(&params);
+  nn::Adam optimizer(std::move(params),
+                     static_cast<float>(options_.learning_rate));
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  const int effective_epochs = std::max<int>(
+      options_.epochs,
+      static_cast<int>((static_cast<size_t>(options_.min_optimizer_steps) *
+                            static_cast<size_t>(options_.batch_size) +
+                        train.size() - 1) /
+                       train.size()));
+  for (int epoch = 0; epoch < effective_epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    int in_batch = 0;
+    for (size_t i : order) {
+      nn::Variable hidden =
+          backbone_->Encode(encoded[i], &rng_, /*training=*/true);
+      nn::Variable cls = nn::SliceRows(hidden, 0, 1);
+      nn::Variable logits = cls_head_->Forward(cls);
+      nn::Variable loss =
+          nn::SoftmaxCrossEntropy(logits, {labels[i]});
+      nn::Backward(loss);
+      if (++in_batch >= options_.batch_size) {
+        optimizer.ClipGradNorm(5.0f);
+        optimizer.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+    }
+  }
+  trained_ = true;
+  set_train_seconds(timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+double MiniBert::Score(std::string_view text) const {
+  SEMTAG_CHECK(trained_);
+  const auto ids = backbone_->EncodeIds(text);
+  nn::Variable hidden = backbone_->Encode(ids, &rng_, /*training=*/false);
+  nn::Variable cls = nn::SliceRows(hidden, 0, 1);
+  nn::Variable logits = cls_head_->Forward(cls);
+  const float a = logits.value()(0, 0);
+  const float b = logits.value()(0, 1);
+  // Softmax over two logits = sigmoid of their difference.
+  return 1.0 / (1.0 + std::exp(static_cast<double>(a - b)));
+}
+
+std::vector<float> MiniBert::EmbedText(std::string_view text) const {
+  const auto ids = backbone_->EncodeIds(text);
+  nn::Variable hidden = backbone_->Encode(ids, &rng_, /*training=*/false);
+  const la::Matrix& h = hidden.value();
+  return std::vector<float>(h.Row(0), h.Row(0) + h.cols());
+}
+
+}  // namespace semtag::models

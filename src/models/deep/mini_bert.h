@@ -1,0 +1,134 @@
+#ifndef SEMTAG_MODELS_DEEP_MINI_BERT_H_
+#define SEMTAG_MODELS_DEEP_MINI_BERT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "text/sequence_encoder.h"
+
+namespace semtag::models {
+
+/// Architecture of the scaled-down BERT (see DESIGN.md: the substitution
+/// keeps the *mechanism* — MLM pretraining on a general corpus, fine-tuning
+/// through a [CLS] head — at a size one CPU core can train).
+struct BertConfig {
+  int max_len = 20;
+  int dim = 32;
+  int heads = 4;
+  int ffn = 128;
+  int layers = 2;
+  /// ALBERT-style cross-layer parameter sharing: one encoder layer applied
+  /// `layers` times.
+  bool share_layers = false;
+  double dropout = 0.1;
+  uint64_t seed = 11;
+};
+
+/// Options for masked-language-model pretraining.
+struct PretrainOptions {
+  int epochs = 3;
+  double learning_rate = 1e-3;
+  double mask_prob = 0.15;
+  int batch_size = 16;
+  uint64_t seed = 99;
+};
+
+/// MLM losses observed during pretraining (first vs last epoch), used by
+/// tests and logs to confirm learning happened.
+struct PretrainStats {
+  double first_epoch_loss = 0.0;
+  double last_epoch_loss = 0.0;
+};
+
+/// Transformer encoder with a fixed (pretraining) vocabulary — the piece
+/// shared between pretraining, fine-tuning, and the [CLS] featurizer.
+class MiniBertBackbone {
+ public:
+  MiniBertBackbone(const BertConfig& config, text::Vocabulary word_vocab);
+
+  /// Encodes one already-padded id sequence to hidden states [max_len x d].
+  nn::Variable Encode(const std::vector<int32_t>& ids, Rng* rng,
+                      bool training) const;
+
+  /// Encodes raw text (tokenize + [CLS] + pad).
+  std::vector<int32_t> EncodeIds(std::string_view text) const;
+
+  /// Runs MLM pretraining over the corpus (in place).
+  PretrainStats Pretrain(const std::vector<std::string>& corpus,
+                         const PretrainOptions& options);
+
+  /// Deep copy (fine-tuning needs a private copy of the shared pretrained
+  /// weights).
+  std::unique_ptr<MiniBertBackbone> Clone() const;
+
+  std::vector<nn::Variable> Parameters() const;
+
+  const BertConfig& config() const { return config_; }
+  const text::SequenceEncoder& encoder() const { return encoder_; }
+  int32_t vocab_size() const { return encoder_.vocab_size(); }
+
+ private:
+  /// Additive attention mask: key j masked (-1e9) when ids[j] is [PAD].
+  la::Matrix AttentionMask(const std::vector<int32_t>& ids) const;
+
+  BertConfig config_;
+  text::SequenceEncoder encoder_;
+  std::unique_ptr<nn::Embedding> token_embedding_;
+  nn::Variable position_table_;  // [max_len x d]
+  std::unique_ptr<nn::LayerNormLayer> embedding_norm_;
+  std::vector<std::unique_ptr<nn::TransformerEncoderLayer>> layers_;
+  nn::Variable mlm_bias_;  // [1 x vocab], tied-weight MLM output bias
+  mutable Rng dropout_rng_;
+};
+
+/// Options for fine-tuning MiniBert on a tagging dataset.
+struct BertFinetuneOptions {
+  /// Minimum epochs (the paper's BERT setting). On tiny training sets the
+  /// epoch count is scaled up so the number of optimizer steps matches
+  /// what 3 epochs means at the paper's dataset sizes: effective epochs =
+  /// max(epochs, min_optimizer_steps * batch_size / train_size).
+  int epochs = 3;
+  int min_optimizer_steps = 180;
+  double learning_rate = 1e-3;
+  int batch_size = 32;  // the paper's BERT setting
+  /// Deep models cap their training set (the paper capped BERT at 400K
+  /// records for the 24h GPU budget; scaled down here). Caps are logged.
+  size_t max_train_examples = 3000;
+  double dropout = 0.1;
+  uint64_t seed = 7;
+};
+
+/// BERT fine-tuned for semantic tagging: pretrained backbone + [CLS]
+/// classification head (Section 3.3's BERT; also serves as ALBERT/ROBERTA
+/// through differently pretrained backbones).
+class MiniBert : public TaggingModel {
+ public:
+  /// `backbone` is cloned, so the shared pretrained weights stay pristine.
+  MiniBert(std::string display_name, const MiniBertBackbone& backbone,
+           BertFinetuneOptions options = {});
+
+  std::string name() const override { return display_name_; }
+  bool is_deep() const override { return true; }
+  Status Train(const data::Dataset& train) override;
+  double Score(std::string_view text) const override;
+
+  /// The last-layer [CLS] vector (the paper's featurization vector for
+  /// LR/SVM + pre-trained embeddings). Usable before Train().
+  std::vector<float> EmbedText(std::string_view text) const;
+
+ private:
+  std::string display_name_;
+  BertFinetuneOptions options_;
+  std::unique_ptr<MiniBertBackbone> backbone_;
+  std::unique_ptr<nn::Linear> cls_head_;
+  mutable Rng rng_;
+  bool trained_ = false;
+};
+
+}  // namespace semtag::models
+
+#endif  // SEMTAG_MODELS_DEEP_MINI_BERT_H_

@@ -1,0 +1,109 @@
+#include "models/deep/text_lstm.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "nn/optimizer.h"
+
+namespace semtag::models {
+
+TextLstm::TextLstm(LstmOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  text::SequenceEncoderOptions eopts;
+  eopts.max_len = options_.max_len;
+  eopts.add_cls = false;
+  eopts.max_words = options_.max_words;
+  encoder_ = text::SequenceEncoder(eopts);
+}
+
+Status TextLstm::Train(const data::Dataset& train_full) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (train_full.empty()) return Status::InvalidArgument("empty training set");
+  WallTimer timer;
+  data::Dataset train = train_full.Take(options_.max_train_examples);
+  if (train.size() < train_full.size()) {
+    SEMTAG_LOG(kInfo, "LSTM: capped training set %zu -> %zu (GPU-budget cap)",
+               train_full.size(), train.size());
+  }
+  const auto texts = train.Texts();
+  encoder_.Fit(texts);
+  Rng init_rng(options_.seed);
+  embedding_ = std::make_unique<nn::Embedding>(
+      static_cast<size_t>(encoder_.vocab_size()),
+      static_cast<size_t>(options_.embed_dim), &init_rng, 0.1f);
+  if (options_.cell == RnnCell::kGru) {
+    gru_ = std::make_unique<nn::Gru>(
+        static_cast<size_t>(options_.embed_dim),
+        static_cast<size_t>(options_.hidden_dim), &init_rng);
+  } else {
+    lstm_ = std::make_unique<nn::Lstm>(
+        static_cast<size_t>(options_.embed_dim),
+        static_cast<size_t>(options_.hidden_dim), &init_rng);
+  }
+  head_ = std::make_unique<nn::Linear>(
+      static_cast<size_t>(options_.hidden_dim), 2, &init_rng);
+
+  std::vector<std::vector<int32_t>> encoded;
+  encoded.reserve(train.size());
+  for (const auto& t : texts) encoded.push_back(encoder_.Encode(t));
+  const auto labels = train.Labels();
+
+  std::vector<nn::Variable> params;
+  embedding_->CollectParameters(&params);
+  if (lstm_ != nullptr) lstm_->CollectParameters(&params);
+  if (gru_ != nullptr) gru_->CollectParameters(&params);
+  head_->CollectParameters(&params);
+  nn::Adam optimizer(std::move(params),
+                     static_cast<float>(options_.learning_rate));
+
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  const int effective_epochs = std::max<int>(
+      options_.epochs,
+      static_cast<int>((static_cast<size_t>(options_.min_optimizer_steps) *
+                            static_cast<size_t>(options_.batch_size) +
+                        train.size() - 1) /
+                       train.size()));
+  for (int epoch = 0; epoch < effective_epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    int in_batch = 0;
+    for (size_t i : order) {
+      nn::Variable logits = Logits(encoded[i], /*training=*/true);
+      nn::Variable loss = nn::SoftmaxCrossEntropy(logits, {labels[i]});
+      nn::Backward(loss);
+      if (++in_batch >= options_.batch_size) {
+        optimizer.ClipGradNorm(5.0f);
+        optimizer.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+    }
+  }
+  trained_ = true;
+  set_train_seconds(timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+nn::Variable TextLstm::Logits(const std::vector<int32_t>& ids,
+                              bool training) const {
+  nn::Variable x = embedding_->Forward(ids);
+  nn::Variable h =
+      gru_ != nullptr ? gru_->Forward(x) : lstm_->Forward(x);
+  h = nn::Dropout(h, options_.dropout, &rng_, training);
+  return head_->Forward(h);
+}
+
+double TextLstm::Score(std::string_view text) const {
+  SEMTAG_CHECK(trained_);
+  nn::Variable logits = Logits(encoder_.Encode(text), /*training=*/false);
+  const float a = logits.value()(0, 0);
+  const float b = logits.value()(0, 1);
+  return 1.0 / (1.0 + std::exp(static_cast<double>(a - b)));
+}
+
+}  // namespace semtag::models

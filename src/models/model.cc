@@ -1,0 +1,21 @@
+#include "models/model.h"
+
+namespace semtag::models {
+
+std::vector<double> TaggingModel::ScoreAll(
+    const std::vector<std::string>& texts) const {
+  std::vector<double> out;
+  out.reserve(texts.size());
+  for (const auto& t : texts) out.push_back(Score(t));
+  return out;
+}
+
+std::vector<int> TaggingModel::PredictAll(
+    const std::vector<std::string>& texts) const {
+  std::vector<int> out;
+  out.reserve(texts.size());
+  for (const auto& t : texts) out.push_back(Predict(t));
+  return out;
+}
+
+}  // namespace semtag::models

@@ -1,0 +1,71 @@
+#ifndef SEMTAG_MODELS_MODEL_H_
+#define SEMTAG_MODELS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace semtag::models {
+
+/// Common interface of all tagging models (simple and deep).
+///
+/// Usage: construct, Train() once on a training dataset, then Score() /
+/// Predict() any number of texts. Training time is recorded and exposed via
+/// train_seconds() (the paper's efficiency axis).
+class TaggingModel {
+ public:
+  virtual ~TaggingModel() = default;
+  TaggingModel() = default;
+  TaggingModel(const TaggingModel&) = delete;
+  TaggingModel& operator=(const TaggingModel&) = delete;
+
+ protected:
+  // Concrete models may be moved (e.g. returned from Load factories).
+  TaggingModel(TaggingModel&&) = default;
+  TaggingModel& operator=(TaggingModel&&) = default;
+
+ public:
+
+  /// Short display name, e.g. "LR", "BERT".
+  virtual std::string name() const = 0;
+
+  /// True for neural-network models (trained on GPU in the paper).
+  virtual bool is_deep() const = 0;
+
+  /// Fits the model. May be called once per instance.
+  virtual Status Train(const data::Dataset& train) = 0;
+
+  /// Real-valued decision score; higher means more positive. Probabilistic
+  /// models return P(y=1 | text); margin models (SVM) return the signed
+  /// distance to the separating hyperplane.
+  virtual double Score(std::string_view text) const = 0;
+
+  /// The score value at the model's natural decision boundary (argmax
+  /// post-processing in the paper): 0.5 for probabilities, 0 for margins.
+  virtual double DecisionThreshold() const { return 0.5; }
+
+  /// 0/1 prediction at the natural boundary.
+  int Predict(std::string_view text) const {
+    return Score(text) >= DecisionThreshold() ? 1 : 0;
+  }
+
+  std::vector<double> ScoreAll(const std::vector<std::string>& texts) const;
+  std::vector<int> PredictAll(const std::vector<std::string>& texts) const;
+
+  /// Wall-clock seconds of the last Train() call.
+  double train_seconds() const { return train_seconds_; }
+
+ protected:
+  void set_train_seconds(double s) { train_seconds_ = s; }
+
+ private:
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace semtag::models
+
+#endif  // SEMTAG_MODELS_MODEL_H_

@@ -1,0 +1,251 @@
+#include "models/simple/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace semtag::models {
+
+namespace {
+
+/// Per-node split accumulator used during the level-wise sorted sweep.
+struct SplitAccumulator {
+  double g_left = 0.0;
+  double h_left = 0.0;
+  int64_t n_left = 0;
+  float last_value = 0.0f;
+  bool any = false;
+};
+
+struct BestSplit {
+  double gain = 0.0;
+  int feature = -1;
+  float threshold = 0.0f;
+};
+
+double LeafWeight(double g, double h, double lambda) {
+  return -g / (h + lambda);
+}
+
+double SplitScore(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+}  // namespace
+
+Gbdt::Tree Gbdt::BuildTree(
+    const std::vector<std::vector<float>>& columns,
+    const std::vector<std::vector<uint32_t>>& sorted_order,
+    const std::vector<double>& grad, const std::vector<double>& hess) {
+  const size_t n = grad.size();
+  const size_t f = columns.size();
+  Tree tree;
+  tree.push_back(TreeNode{});
+  std::vector<int> node_of(n, 0);
+
+  struct NodeStats {
+    double g = 0.0;
+    double h = 0.0;
+    bool open = false;  // still splittable at the current level
+  };
+  std::vector<NodeStats> stats(1);
+  for (size_t i = 0; i < n; ++i) {
+    stats[0].g += grad[i];
+    stats[0].h += hess[i];
+  }
+  stats[0].open = true;
+
+  for (int depth = 0; depth < options_.max_depth; ++depth) {
+    // Find the best split of every open node with one sweep per feature.
+    std::vector<BestSplit> best(tree.size());
+    std::vector<SplitAccumulator> acc(tree.size());
+    for (size_t j = 0; j < f; ++j) {
+      for (auto& a : acc) a = SplitAccumulator{};
+      const auto& order = sorted_order[j];
+      const auto& col = columns[j];
+      for (uint32_t i : order) {
+        const int node = node_of[i];
+        if (node < 0 || !stats[static_cast<size_t>(node)].open) continue;
+        SplitAccumulator& a = acc[static_cast<size_t>(node)];
+        const float v = col[i];
+        if (a.any && v > a.last_value) {
+          // Candidate split: left = {x < v}.
+          const NodeStats& s = stats[static_cast<size_t>(node)];
+          const double g_right = s.g - a.g_left;
+          const double h_right = s.h - a.h_left;
+          if (a.h_left >= options_.min_child_weight &&
+              h_right >= options_.min_child_weight) {
+            const double gain =
+                SplitScore(a.g_left, a.h_left, options_.lambda) +
+                SplitScore(g_right, h_right, options_.lambda) -
+                SplitScore(s.g, s.h, options_.lambda);
+            BestSplit& b = best[static_cast<size_t>(node)];
+            if (gain > b.gain + 1e-9) {
+              b.gain = gain;
+              b.feature = static_cast<int>(j);
+              b.threshold = (a.last_value + v) * 0.5f;
+            }
+          }
+        }
+        a.g_left += grad[i];
+        a.h_left += hess[i];
+        ++a.n_left;
+        a.last_value = v;
+        a.any = true;
+      }
+    }
+    // Materialize the accepted splits.
+    bool any_split = false;
+    const size_t num_nodes = tree.size();
+    for (size_t node = 0; node < num_nodes; ++node) {
+      if (!stats[node].open || best[node].feature < 0 ||
+          best[node].gain <= 0.0) {
+        stats[node].open = false;
+        continue;
+      }
+      any_split = true;
+      tree[node].feature = best[node].feature;
+      tree[node].threshold = best[node].threshold;
+      tree[node].left = static_cast<int>(tree.size());
+      tree[node].right = static_cast<int>(tree.size() + 1);
+      tree.push_back(TreeNode{});
+      tree.push_back(TreeNode{});
+      stats.push_back(NodeStats{0.0, 0.0, true});
+      stats.push_back(NodeStats{0.0, 0.0, true});
+      stats[node].open = false;
+    }
+    if (!any_split) break;
+    // Reassign samples and accumulate child stats.
+    for (size_t i = 0; i < n; ++i) {
+      const int node = node_of[i];
+      if (node < 0) continue;
+      const TreeNode& tn = tree[static_cast<size_t>(node)];
+      if (tn.feature < 0) continue;
+      const int child =
+          columns[static_cast<size_t>(tn.feature)][i] < tn.threshold
+              ? tn.left
+              : tn.right;
+      node_of[i] = child;
+      stats[static_cast<size_t>(child)].g += grad[i];
+      stats[static_cast<size_t>(child)].h += hess[i];
+    }
+  }
+  // Set leaf values.
+  for (size_t node = 0; node < tree.size(); ++node) {
+    if (tree[node].feature < 0) {
+      tree[node].leaf_value = static_cast<float>(
+          options_.learning_rate *
+          LeafWeight(stats[node].g, stats[node].h, options_.lambda));
+    }
+  }
+  return tree;
+}
+
+Status Gbdt::Train(const data::Dataset& train_full) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (train_full.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  WallTimer timer;
+  data::Dataset train = train_full.Take(options_.max_train_examples);
+  if (train.size() < train_full.size()) {
+    SEMTAG_LOG(kInfo, "GBDT: capped training set %zu -> %zu",
+               train_full.size(), train.size());
+  }
+  const auto texts = train.Texts();
+  auto bow = options_.bow;
+  bow.max_features = options_.max_features;
+  vectorizer_ = text::BowVectorizer(bow);
+  vectorizer_.Fit(texts);
+  const size_t f = vectorizer_.num_features();
+  const size_t n = train.size();
+
+  // Column-major dense features (vocabulary ids are df-ranked, so the
+  // max_features cap keeps the most frequent n-grams).
+  std::vector<std::vector<float>> columns(f, std::vector<float>(n, 0.0f));
+  for (size_t i = 0; i < n; ++i) {
+    const la::SparseVector row = vectorizer_.Transform(train[i].text);
+    for (const auto& e : row.entries()) {
+      columns[e.index][i] = e.value;
+    }
+  }
+  std::vector<std::vector<uint32_t>> sorted_order(f);
+  for (size_t j = 0; j < f; ++j) {
+    sorted_order[j].resize(n);
+    std::iota(sorted_order[j].begin(), sorted_order[j].end(), 0u);
+    const auto& col = columns[j];
+    std::stable_sort(sorted_order[j].begin(), sorted_order[j].end(),
+                     [&col](uint32_t a, uint32_t b) {
+                       return col[a] < col[b];
+                     });
+  }
+
+  const auto labels = train.Labels();
+  int64_t n_pos = 0;
+  for (int y : labels) n_pos += (y == 1);
+  if (n_pos == 0 || n_pos == static_cast<int64_t>(n)) {
+    return Status::InvalidArgument("training set must contain both classes");
+  }
+  const double prior = static_cast<double>(n_pos) / static_cast<double>(n);
+  base_score_ = std::log(prior / (1.0 - prior));
+
+  std::vector<double> scores(n, base_score_);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  trees_.clear();
+  for (int round = 0; round < options_.num_trees; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      const double p = 1.0 / (1.0 + std::exp(-scores[i]));
+      grad[i] = p - labels[i];
+      hess[i] = std::max(p * (1.0 - p), 1e-6);
+    }
+    Tree tree = BuildTree(columns, sorted_order, grad, hess);
+    // A tree that never split adds a constant; keep it (it nudges the
+    // bias) but stop early since no structure is left to learn.
+    for (size_t i = 0; i < n; ++i) {
+      int node = 0;
+      while (tree[static_cast<size_t>(node)].feature >= 0) {
+        const TreeNode& tn = tree[static_cast<size_t>(node)];
+        node = columns[static_cast<size_t>(tn.feature)][i] < tn.threshold
+                   ? tn.left
+                   : tn.right;
+      }
+      scores[i] += tree[static_cast<size_t>(node)].leaf_value;
+    }
+    const bool is_stump = tree.size() == 1;
+    trees_.push_back(std::move(tree));
+    if (is_stump) break;  // no structure left to learn
+  }
+  trained_ = true;
+  set_train_seconds(timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+double Gbdt::PredictRaw(const std::vector<float>& features) const {
+  double score = base_score_;
+  for (const auto& tree : trees_) {
+    int node = 0;
+    while (tree[static_cast<size_t>(node)].feature >= 0) {
+      const TreeNode& tn = tree[static_cast<size_t>(node)];
+      const float v = features[static_cast<size_t>(tn.feature)];
+      node = v < tn.threshold ? tn.left : tn.right;
+    }
+    score += tree[static_cast<size_t>(node)].leaf_value;
+  }
+  return score;
+}
+
+double Gbdt::Score(std::string_view text) const {
+  SEMTAG_CHECK(trained_);
+  std::vector<float> features(vectorizer_.num_features(), 0.0f);
+  const la::SparseVector row = vectorizer_.Transform(text);
+  for (const auto& e : row.entries()) {
+    features[e.index] = e.value;
+  }
+  return 1.0 / (1.0 + std::exp(-PredictRaw(features)));
+}
+
+}  // namespace semtag::models

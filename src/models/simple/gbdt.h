@@ -1,0 +1,71 @@
+#ifndef SEMTAG_MODELS_SIMPLE_GBDT_H_
+#define SEMTAG_MODELS_SIMPLE_GBDT_H_
+
+#include <vector>
+
+#include "models/model.h"
+#include "text/bow_vectorizer.h"
+
+namespace semtag::models {
+
+/// Options for Gbdt.
+struct GbdtOptions {
+  int num_trees = 60;
+  int max_depth = 4;
+  double learning_rate = 0.2;
+  /// L2 regularization on leaf values (XGBoost's lambda).
+  double lambda = 1.0;
+  /// Minimum hessian sum per child (XGBoost's min_child_weight).
+  double min_child_weight = 1.0;
+  /// Densified feature budget: the most document-frequent n-grams.
+  size_t max_features = 256;
+  /// Training-set cap; gradient boosting with exact splits is the one
+  /// simple model that does not scale linearly, so it trains on a sample
+  /// (logged) like the appendix's capped runs.
+  size_t max_train_examples = 8000;
+  text::BowOptions bow;
+};
+
+/// Gradient-boosted regression trees with logistic loss (the from-scratch
+/// stand-in for XGBoost in the appendix's industrial-model comparison).
+/// Trees are grown level-wise with exact greedy splits over pre-sorted
+/// feature columns. Score() returns P(y=1).
+class Gbdt : public TaggingModel {
+ public:
+  explicit Gbdt(GbdtOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "XGB"; }
+  bool is_deep() const override { return false; }
+  Status Train(const data::Dataset& train) override;
+  double Score(std::string_view text) const override;
+
+  int num_trees_built() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  struct TreeNode {
+    int feature = -1;     // -1 => leaf
+    float threshold = 0;  // go left when value < threshold
+    int left = -1;
+    int right = -1;
+    float leaf_value = 0;
+  };
+  using Tree = std::vector<TreeNode>;
+
+  /// Builds one tree on gradients/hessians; updates `scores` in place.
+  Tree BuildTree(const std::vector<std::vector<float>>& columns,
+                 const std::vector<std::vector<uint32_t>>& sorted_order,
+                 const std::vector<double>& grad,
+                 const std::vector<double>& hess);
+
+  double PredictRaw(const std::vector<float>& features) const;
+
+  GbdtOptions options_;
+  text::BowVectorizer vectorizer_;
+  std::vector<Tree> trees_;
+  double base_score_ = 0.0;  // initial log-odds
+  bool trained_ = false;
+};
+
+}  // namespace semtag::models
+
+#endif  // SEMTAG_MODELS_SIMPLE_GBDT_H_

@@ -1,0 +1,149 @@
+#include "models/simple/linear_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace semtag::models::internal {
+
+namespace {
+constexpr const char* kFormatHeader = "semtag-linear-model v1";
+
+/// Escapes newlines in n-grams (tokens never contain them, but be safe).
+std::string EscapeToken(const std::string& token) {
+  std::string out;
+  for (char c : token) {
+    if (c == '\n' || c == '\r') out.push_back(' ');
+    else out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveLinearModel(const std::string& path,
+                       const LinearModelState& state) {
+  SEMTAG_CHECK(state.tokens.size() == state.doc_freqs.size());
+  SEMTAG_CHECK(state.tokens.size() == state.idf.size());
+  SEMTAG_CHECK(state.tokens.size() == state.weights.size());
+  std::ostringstream out;
+  out << kFormatHeader << "\n";
+  out << "model " << state.model_name << "\n";
+  out << StrFormat("options %d %d %lld %zu %d %d\n",
+                   state.options.min_ngram, state.options.max_ngram,
+                   static_cast<long long>(state.options.min_doc_freq),
+                   state.options.max_features,
+                   state.options.use_idf ? 1 : 0,
+                   state.options.l2_normalize ? 1 : 0);
+  out << StrFormat("bias %.9g\n", static_cast<double>(state.bias));
+  out << "features " << state.tokens.size() << "\n";
+  for (size_t i = 0; i < state.tokens.size(); ++i) {
+    out << EscapeToken(state.tokens[i]) << "\t" << state.doc_freqs[i]
+        << "\t" << StrFormat("%.9g", static_cast<double>(state.idf[i]))
+        << "\t"
+        << StrFormat("%.9g", static_cast<double>(state.weights[i]))
+        << "\n";
+  }
+  return WriteStringToFile(path, out.str());
+}
+
+Result<LinearModelState> LoadLinearModel(const std::string& path,
+                                         const std::string& expected_name) {
+  SEMTAG_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line) || line != kFormatHeader) {
+    return Status::InvalidArgument("not a semtag linear model: " + path);
+  }
+  LinearModelState state;
+  if (!std::getline(in, line) || !StartsWith(line, "model ")) {
+    return Status::InvalidArgument("missing model line: " + path);
+  }
+  state.model_name = line.substr(6);
+  if (state.model_name != expected_name) {
+    return Status::InvalidArgument(
+        StrFormat("model type mismatch: file has %s, expected %s",
+                  state.model_name.c_str(), expected_name.c_str()));
+  }
+  int use_idf = 1;
+  int l2 = 1;
+  long long min_df = 2;
+  size_t max_features = 0;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "options %d %d %lld %zu %d %d",
+                  &state.options.min_ngram, &state.options.max_ngram,
+                  &min_df, &max_features, &use_idf, &l2) != 6) {
+    return Status::InvalidArgument("bad options line: " + path);
+  }
+  state.options.min_doc_freq = min_df;
+  state.options.max_features = max_features;
+  state.options.use_idf = use_idf != 0;
+  state.options.l2_normalize = l2 != 0;
+  double bias = 0.0;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "bias %lf", &bias) != 1) {
+    return Status::InvalidArgument("bad bias line: " + path);
+  }
+  state.bias = static_cast<float>(bias);
+  size_t count = 0;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "features %zu", &count) != 1) {
+    return Status::InvalidArgument("bad features line: " + path);
+  }
+  state.tokens.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument(
+          StrFormat("truncated feature table at %zu of %zu", i, count));
+    }
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(
+          StrFormat("feature line %zu has %zu fields", i, fields.size()));
+    }
+    state.tokens.push_back(fields[0]);
+    state.doc_freqs.push_back(std::atoll(fields[1].c_str()));
+    state.idf.push_back(static_cast<float>(std::atof(fields[2].c_str())));
+    state.weights.push_back(
+        static_cast<float>(std::atof(fields[3].c_str())));
+  }
+  return state;
+}
+
+text::BowVectorizer RestoreVectorizer(const LinearModelState& state) {
+  text::Vocabulary vocab;
+  for (size_t i = 0; i < state.tokens.size(); ++i) {
+    vocab.Add(state.tokens[i], state.doc_freqs[i]);
+  }
+  return text::BowVectorizer::FromState(state.options, std::move(vocab),
+                                        state.idf);
+}
+
+std::vector<TokenContribution> ExplainLinear(
+    const text::BowVectorizer& vectorizer,
+    const std::vector<float>& weights, std::string_view text, int k) {
+  const la::SparseVector x = vectorizer.Transform(text);
+  std::vector<TokenContribution> contributions;
+  contributions.reserve(x.nnz());
+  for (const auto& e : x.entries()) {
+    const double c = static_cast<double>(e.value) * weights[e.index];
+    if (c == 0.0) continue;
+    contributions.push_back(TokenContribution{
+        vectorizer.vocabulary().TokenOf(static_cast<int32_t>(e.index)), c});
+  }
+  std::sort(contributions.begin(), contributions.end(),
+            [](const TokenContribution& a, const TokenContribution& b) {
+              return std::fabs(a.contribution) > std::fabs(b.contribution);
+            });
+  if (static_cast<int>(contributions.size()) > k) {
+    contributions.resize(static_cast<size_t>(k));
+  }
+  return contributions;
+}
+
+}  // namespace semtag::models::internal

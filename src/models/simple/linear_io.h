@@ -1,0 +1,54 @@
+#ifndef SEMTAG_MODELS_SIMPLE_LINEAR_IO_H_
+#define SEMTAG_MODELS_SIMPLE_LINEAR_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/bow_vectorizer.h"
+
+namespace semtag::models {
+
+/// A token's contribution to a linear decision (Explain output).
+struct TokenContribution {
+  std::string feature;  // n-gram, e.g. "great" or "would_recommend"
+  double contribution;  // weight * feature value; sign = direction
+};
+
+namespace internal {
+
+/// Shared serialized state of the BoW linear models (LR and SVM): the
+/// fitted vocabulary with IDF weights plus the weight vector. The format
+/// is versioned line-oriented text: portable, diffable, and inspectable.
+struct LinearModelState {
+  std::string model_name;   // "LR" or "SVM"
+  text::BowOptions options;
+  std::vector<std::string> tokens;   // feature id -> n-gram
+  std::vector<int64_t> doc_freqs;
+  std::vector<float> idf;
+  std::vector<float> weights;
+  float bias = 0.0f;
+};
+
+/// Writes the state to a file.
+Status SaveLinearModel(const std::string& path,
+                       const LinearModelState& state);
+
+/// Reads a state back; validates the header and the expected model name.
+Result<LinearModelState> LoadLinearModel(const std::string& path,
+                                         const std::string& expected_name);
+
+/// Rebuilds a vectorizer from serialized vocabulary + IDF.
+/// (The per-feature IDF table is installed directly, bypassing Fit.)
+text::BowVectorizer RestoreVectorizer(const LinearModelState& state);
+
+/// Top-k |weight * value| contributions of `text`'s features under a
+/// linear model, most influential first.
+std::vector<TokenContribution> ExplainLinear(
+    const text::BowVectorizer& vectorizer, const std::vector<float>& weights,
+    std::string_view text, int k);
+
+}  // namespace internal
+}  // namespace semtag::models
+
+#endif  // SEMTAG_MODELS_SIMPLE_LINEAR_IO_H_

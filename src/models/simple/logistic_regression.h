@@ -1,0 +1,58 @@
+#ifndef SEMTAG_MODELS_SIMPLE_LOGISTIC_REGRESSION_H_
+#define SEMTAG_MODELS_SIMPLE_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "models/model.h"
+#include "models/simple/linear_io.h"
+#include "text/bow_vectorizer.h"
+
+namespace semtag::models {
+
+/// Options for LogisticRegression.
+struct LrOptions {
+  int epochs = 12;
+  /// Initial SGD learning rate; decays as lr0 / (1 + t * decay).
+  double learning_rate = 0.5;
+  double lr_decay = 1e-4;
+  /// L2 regularization strength.
+  double l2 = 1e-5;
+  uint64_t seed = 17;
+  text::BowOptions bow;
+};
+
+/// Sparse logistic regression over BoW(1,2)+TF-IDF features, trained with
+/// SGD (Section 3.2's LR). Score() returns P(y=1).
+class LogisticRegression : public TaggingModel {
+ public:
+  explicit LogisticRegression(LrOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "LR"; }
+  bool is_deep() const override { return false; }
+  Status Train(const data::Dataset& train) override;
+  double Score(std::string_view text) const override;
+
+  size_t num_features() const { return weights_.size(); }
+
+  /// Persists the trained model (vocabulary, IDF, weights) to a versioned
+  /// text file; Load restores a ready-to-score model.
+  Status Save(const std::string& path) const;
+  static Result<LogisticRegression> Load(const std::string& path);
+
+  /// Top-k features driving this text's score, by |weight * value|
+  /// (positive contribution pushes toward the tag).
+  std::vector<TokenContribution> Explain(std::string_view text,
+                                         int k = 5) const;
+
+ private:
+  LrOptions options_;
+  text::BowVectorizer vectorizer_;
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+  bool trained_ = false;
+};
+
+}  // namespace semtag::models
+
+#endif  // SEMTAG_MODELS_SIMPLE_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,48 @@
+#ifndef SEMTAG_MODELS_SIMPLE_NAIVE_BAYES_H_
+#define SEMTAG_MODELS_SIMPLE_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "models/model.h"
+#include "text/bow_vectorizer.h"
+
+namespace semtag::models {
+
+/// Options for NaiveBayes.
+struct NbOptions {
+  /// Laplace/Lidstone smoothing.
+  double alpha = 1.0;
+  text::BowOptions bow;
+
+  NbOptions() {
+    // Multinomial NB uses raw term counts, not TF-IDF.
+    bow.use_idf = false;
+    bow.l2_normalize = false;
+  }
+};
+
+/// Multinomial Naive Bayes over n-gram counts (one of the appendix's
+/// "industrial" simple models). Score() returns P(y=1 | text).
+class NaiveBayes : public TaggingModel {
+ public:
+  explicit NaiveBayes(NbOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "NB"; }
+  bool is_deep() const override { return false; }
+  Status Train(const data::Dataset& train) override;
+  double Score(std::string_view text) const override;
+
+ private:
+  NbOptions options_;
+  text::BowVectorizer vectorizer_;
+  /// log P(t | class) - per-feature log likelihood, per class.
+  std::vector<float> log_like_pos_;
+  std::vector<float> log_like_neg_;
+  double log_prior_pos_ = 0.0;
+  double log_prior_neg_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace semtag::models
+
+#endif  // SEMTAG_MODELS_SIMPLE_NAIVE_BAYES_H_

@@ -1,0 +1,245 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "la/init.h"
+
+namespace semtag::nn {
+
+namespace {
+
+Variable MakeParam(size_t rows, size_t cols, Rng* rng) {
+  la::Matrix m(rows, cols);
+  la::XavierUniform(&m, rng);
+  return Variable(std::move(m), /*requires_grad=*/true);
+}
+
+Variable MakeZeroParam(size_t rows, size_t cols) {
+  return Variable(la::Matrix(rows, cols), /*requires_grad=*/true);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng* rng)
+    : weight_(MakeParam(in_dim, out_dim, rng)),
+      bias_(MakeZeroParam(1, out_dim)) {}
+
+Variable Linear::Forward(const Variable& x) const {
+  return AddRowBroadcast(MatMul(x, weight_), bias_);
+}
+
+void Linear::CollectParameters(std::vector<Variable>* out) {
+  out->push_back(weight_);
+  out->push_back(bias_);
+}
+
+// ------------------------------------------------------------- Embedding
+
+Embedding::Embedding(size_t vocab, size_t dim, Rng* rng, float init_stddev) {
+  la::Matrix m(vocab, dim);
+  la::GaussianInit(&m, rng, init_stddev);
+  table_ = Variable(std::move(m), /*requires_grad=*/true);
+}
+
+Variable Embedding::Forward(const std::vector<int32_t>& ids) const {
+  return EmbeddingLookup(table_, ids);
+}
+
+void Embedding::CollectParameters(std::vector<Variable>* out) {
+  out->push_back(table_);
+}
+
+// -------------------------------------------------------------- ConvPool
+
+ConvPool::ConvPool(int width, size_t embed_dim, size_t filters, Rng* rng)
+    : width_(width),
+      weight_(MakeParam(static_cast<size_t>(width) * embed_dim, filters,
+                        rng)),
+      bias_(MakeZeroParam(1, filters)) {}
+
+Variable ConvPool::Forward(const Variable& x) const {
+  SEMTAG_CHECK(x.rows() >= static_cast<size_t>(width_));
+  return MaxPoolRows(Relu(Conv1d(x, weight_, bias_, width_)));
+}
+
+void ConvPool::CollectParameters(std::vector<Variable>* out) {
+  out->push_back(weight_);
+  out->push_back(bias_);
+}
+
+// ------------------------------------------------------------------ Lstm
+
+Lstm::Lstm(size_t input_dim, size_t hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      w_x_(MakeParam(input_dim, 4 * hidden_dim, rng)),
+      w_h_(MakeParam(hidden_dim, 4 * hidden_dim, rng)),
+      bias_(MakeZeroParam(1, 4 * hidden_dim)) {
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (size_t c = hidden_dim; c < 2 * hidden_dim; ++c) {
+    bias_.mutable_value()(0, c) = 1.0f;
+  }
+}
+
+Variable Lstm::Forward(const Variable& x) const {
+  const size_t L = x.rows();
+  const size_t H = hidden_dim_;
+  Variable h(la::Matrix(1, H));
+  Variable c(la::Matrix(1, H));
+  // Precompute all input projections in one matmul: [L x 4H].
+  Variable xproj = AddRowBroadcast(MatMul(x, w_x_), bias_);
+  for (size_t t = 0; t < L; ++t) {
+    Variable gates = Add(SliceRows(xproj, t, t + 1), MatMul(h, w_h_));
+    Variable i = Sigmoid(SliceColsRange(gates, 0, H));
+    Variable f = Sigmoid(SliceColsRange(gates, H, 2 * H));
+    Variable g = Tanh(SliceColsRange(gates, 2 * H, 3 * H));
+    Variable o = Sigmoid(SliceColsRange(gates, 3 * H, 4 * H));
+    c = Add(Mul(f, c), Mul(i, g));
+    h = Mul(o, Tanh(c));
+  }
+  return h;
+}
+
+void Lstm::CollectParameters(std::vector<Variable>* out) {
+  out->push_back(w_x_);
+  out->push_back(w_h_);
+  out->push_back(bias_);
+}
+
+// ------------------------------------------------------------------- Gru
+
+Gru::Gru(size_t input_dim, size_t hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      w_xg_(MakeParam(input_dim, 2 * hidden_dim, rng)),
+      w_hg_(MakeParam(hidden_dim, 2 * hidden_dim, rng)),
+      bias_g_(MakeZeroParam(1, 2 * hidden_dim)),
+      w_xc_(MakeParam(input_dim, hidden_dim, rng)),
+      w_hc_(MakeParam(hidden_dim, hidden_dim, rng)),
+      bias_c_(MakeZeroParam(1, hidden_dim)) {}
+
+Variable Gru::Forward(const Variable& x) const {
+  const size_t L = x.rows();
+  const size_t H = hidden_dim_;
+  Variable h(la::Matrix(1, H));
+  Variable xg = AddRowBroadcast(MatMul(x, w_xg_), bias_g_);
+  Variable xc = AddRowBroadcast(MatMul(x, w_xc_), bias_c_);
+  Variable ones(la::Matrix(1, H, 1.0f));
+  for (size_t t = 0; t < L; ++t) {
+    Variable gates = Add(SliceRows(xg, t, t + 1), MatMul(h, w_hg_));
+    Variable z = Sigmoid(SliceColsRange(gates, 0, H));
+    Variable r = Sigmoid(SliceColsRange(gates, H, 2 * H));
+    Variable candidate =
+        Tanh(Add(SliceRows(xc, t, t + 1), MatMul(Mul(r, h), w_hc_)));
+    // h = (1 - z) * h + z * candidate.
+    h = Add(Mul(Sub(ones, z), h), Mul(z, candidate));
+  }
+  return h;
+}
+
+void Gru::CollectParameters(std::vector<Variable>* out) {
+  out->push_back(w_xg_);
+  out->push_back(w_hg_);
+  out->push_back(bias_g_);
+  out->push_back(w_xc_);
+  out->push_back(w_hc_);
+  out->push_back(bias_c_);
+}
+
+// -------------------------------------------------------- LayerNormLayer
+
+LayerNormLayer::LayerNormLayer(size_t dim)
+    : gain_(Variable(la::Matrix(1, dim, 1.0f), /*requires_grad=*/true)),
+      bias_(MakeZeroParam(1, dim)) {}
+
+Variable LayerNormLayer::Forward(const Variable& x) const {
+  return LayerNorm(x, gain_, bias_);
+}
+
+void LayerNormLayer::CollectParameters(std::vector<Variable>* out) {
+  out->push_back(gain_);
+  out->push_back(bias_);
+}
+
+// -------------------------------------------- MultiHeadSelfAttention
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(size_t dim, size_t num_heads,
+                                               Rng* rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+  SEMTAG_CHECK(dim % num_heads == 0);
+  for (size_t h = 0; h < num_heads_; ++h) {
+    w_q_.push_back(MakeParam(dim_, head_dim_, rng));
+    w_k_.push_back(MakeParam(dim_, head_dim_, rng));
+    w_v_.push_back(MakeParam(dim_, head_dim_, rng));
+    b_q_.push_back(MakeZeroParam(1, head_dim_));
+    b_k_.push_back(MakeZeroParam(1, head_dim_));
+    b_v_.push_back(MakeZeroParam(1, head_dim_));
+  }
+  w_o_ = MakeParam(dim_, dim_, rng);
+  b_o_ = MakeZeroParam(1, dim_);
+}
+
+Variable MultiHeadSelfAttention::Forward(const Variable& x,
+                                         const la::Matrix& mask) const {
+  SEMTAG_CHECK(mask.rows() == x.rows() && mask.cols() == x.rows());
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Variable> heads;
+  heads.reserve(num_heads_);
+  for (size_t h = 0; h < num_heads_; ++h) {
+    Variable q = AddRowBroadcast(MatMul(x, w_q_[h]), b_q_[h]);
+    Variable k = AddRowBroadcast(MatMul(x, w_k_[h]), b_k_[h]);
+    Variable v = AddRowBroadcast(MatMul(x, w_v_[h]), b_v_[h]);
+    Variable scores = AddConst(ScalarMul(MatMulBT(q, k), scale), mask);
+    Variable attn = RowSoftmax(scores);
+    heads.push_back(MatMul(attn, v));
+  }
+  return AddRowBroadcast(MatMul(ConcatCols(heads), w_o_), b_o_);
+}
+
+void MultiHeadSelfAttention::CollectParameters(std::vector<Variable>* out) {
+  for (size_t h = 0; h < num_heads_; ++h) {
+    out->push_back(w_q_[h]);
+    out->push_back(w_k_[h]);
+    out->push_back(w_v_[h]);
+    out->push_back(b_q_[h]);
+    out->push_back(b_k_[h]);
+    out->push_back(b_v_[h]);
+  }
+  out->push_back(w_o_);
+  out->push_back(b_o_);
+}
+
+// -------------------------------------------- TransformerEncoderLayer
+
+TransformerEncoderLayer::TransformerEncoderLayer(size_t dim,
+                                                 size_t num_heads,
+                                                 size_t ffn_dim, Rng* rng)
+    : attention_(dim, num_heads, rng),
+      norm1_(dim),
+      ffn1_(dim, ffn_dim, rng),
+      ffn2_(ffn_dim, dim, rng),
+      norm2_(dim) {}
+
+Variable TransformerEncoderLayer::Forward(const Variable& x,
+                                          const la::Matrix& mask,
+                                          double dropout, Rng* rng,
+                                          bool training) const {
+  Variable attended =
+      Dropout(attention_.Forward(x, mask), dropout, rng, training);
+  Variable h = norm1_.Forward(Add(x, attended));
+  Variable ffn = Dropout(ffn2_.Forward(Gelu(ffn1_.Forward(h))), dropout,
+                         rng, training);
+  return norm2_.Forward(Add(h, ffn));
+}
+
+void TransformerEncoderLayer::CollectParameters(std::vector<Variable>* out) {
+  attention_.CollectParameters(out);
+  norm1_.CollectParameters(out);
+  ffn1_.CollectParameters(out);
+  ffn2_.CollectParameters(out);
+  norm2_.CollectParameters(out);
+}
+
+}  // namespace semtag::nn

@@ -1,0 +1,171 @@
+#ifndef SEMTAG_NN_LAYERS_H_
+#define SEMTAG_NN_LAYERS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/variable.h"
+
+namespace semtag::nn {
+
+/// Base class for parameterized layers. Layers own their parameter
+/// Variables; CollectParameters appends them for the optimizer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  virtual void CollectParameters(std::vector<Variable>* out) = 0;
+};
+
+/// y = x W + b, W: [in x out].
+class Linear : public Layer {
+ public:
+  Linear(size_t in_dim, size_t out_dim, Rng* rng);
+
+  Variable Forward(const Variable& x) const;
+  void CollectParameters(std::vector<Variable>* out) override;
+
+  const Variable& weight() const { return weight_; }
+  const Variable& bias() const { return bias_; }
+
+ private:
+  Variable weight_;
+  Variable bias_;
+};
+
+/// Token embedding table [vocab x dim].
+class Embedding : public Layer {
+ public:
+  Embedding(size_t vocab, size_t dim, Rng* rng, float init_stddev = 0.05f);
+
+  Variable Forward(const std::vector<int32_t>& ids) const;
+  void CollectParameters(std::vector<Variable>* out) override;
+
+  Variable& table() { return table_; }
+  const Variable& table() const { return table_; }
+
+ private:
+  Variable table_;
+};
+
+/// One convolution width of a TextCNN: Conv1d + ReLU + max-over-time.
+class ConvPool : public Layer {
+ public:
+  ConvPool(int width, size_t embed_dim, size_t filters, Rng* rng);
+
+  /// x: [L x embed_dim] -> [1 x filters]. Requires L >= width (the caller
+  /// pads sequences to at least the maximum width).
+  Variable Forward(const Variable& x) const;
+  void CollectParameters(std::vector<Variable>* out) override;
+
+  int width() const { return width_; }
+
+ private:
+  int width_;
+  Variable weight_;  // [(width*embed_dim) x filters]
+  Variable bias_;    // [1 x filters]
+};
+
+/// Single-layer unidirectional LSTM over a [L x input] sequence.
+class Lstm : public Layer {
+ public:
+  Lstm(size_t input_dim, size_t hidden_dim, Rng* rng);
+
+  /// Returns the final hidden state [1 x hidden].
+  Variable Forward(const Variable& x) const;
+  void CollectParameters(std::vector<Variable>* out) override;
+
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t hidden_dim_;
+  // Fused gate weights, order (i, f, g, o): [input x 4H], [H x 4H], [1x4H].
+  Variable w_x_;
+  Variable w_h_;
+  Variable bias_;
+};
+
+/// Single-layer GRU over a [L x input] sequence (the LSTM variant the
+/// paper cites via Chung et al. [9]).
+class Gru : public Layer {
+ public:
+  Gru(size_t input_dim, size_t hidden_dim, Rng* rng);
+
+  /// Returns the final hidden state [1 x hidden].
+  Variable Forward(const Variable& x) const;
+  void CollectParameters(std::vector<Variable>* out) override;
+
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t hidden_dim_;
+  // Fused update/reset gates (z, r): [input x 2H], [H x 2H], [1 x 2H].
+  Variable w_xg_;
+  Variable w_hg_;
+  Variable bias_g_;
+  // Candidate state: [input x H], [H x H], [1 x H].
+  Variable w_xc_;
+  Variable w_hc_;
+  Variable bias_c_;
+};
+
+/// Row-wise layer normalization with learned gain/bias.
+class LayerNormLayer : public Layer {
+ public:
+  explicit LayerNormLayer(size_t dim);
+
+  Variable Forward(const Variable& x) const;
+  void CollectParameters(std::vector<Variable>* out) override;
+
+ private:
+  Variable gain_;
+  Variable bias_;
+};
+
+/// Multi-head self-attention over [L x d]; `mask` is an additive [L x L]
+/// constant (0 for visible, -1e9 for padded keys).
+class MultiHeadSelfAttention : public Layer {
+ public:
+  MultiHeadSelfAttention(size_t dim, size_t num_heads, Rng* rng);
+
+  Variable Forward(const Variable& x, const la::Matrix& mask) const;
+  void CollectParameters(std::vector<Variable>* out) override;
+
+ private:
+  size_t dim_;
+  size_t num_heads_;
+  size_t head_dim_;
+  // Per-head projection weights [d x head_dim] (equivalent to slicing a
+  // single [d x d] projection, but avoids a column-slice op).
+  std::vector<Variable> w_q_, w_k_, w_v_;
+  std::vector<Variable> b_q_, b_k_, b_v_;  // [1 x head_dim]
+  Variable w_o_;                           // [d x d]
+  Variable b_o_;                           // [1 x d]
+};
+
+/// Post-norm transformer encoder layer (attention + FFN with GELU),
+/// the BERT building block.
+class TransformerEncoderLayer : public Layer {
+ public:
+  TransformerEncoderLayer(size_t dim, size_t num_heads, size_t ffn_dim,
+                          Rng* rng);
+
+  Variable Forward(const Variable& x, const la::Matrix& mask, double dropout,
+                   Rng* rng, bool training) const;
+  void CollectParameters(std::vector<Variable>* out) override;
+
+ private:
+  MultiHeadSelfAttention attention_;
+  LayerNormLayer norm1_;
+  Linear ffn1_;
+  Linear ffn2_;
+  LayerNormLayer norm2_;
+};
+
+}  // namespace semtag::nn
+
+#endif  // SEMTAG_NN_LAYERS_H_

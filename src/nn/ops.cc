@@ -1,0 +1,588 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace semtag::nn {
+
+namespace {
+
+using internal::Node;
+
+/// Shorthand: parents vector from variables.
+std::vector<std::shared_ptr<Node>> Parents(
+    std::initializer_list<const Variable*> vars) {
+  std::vector<std::shared_ptr<Node>> out;
+  out.reserve(vars.size());
+  for (const Variable* v : vars) out.push_back(v->node());
+  return out;
+}
+
+bool Wants(const Node* n, size_t i) {
+  return n->parents[i]->requires_grad;
+}
+
+}  // namespace
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  SEMTAG_CHECK(a.cols() == b.rows());
+  la::Matrix out;
+  la::MatMul(a.value(), b.value(), &out);
+  return MakeOpNode(std::move(out), Parents({&a, &b}), [](Node* n) {
+    const la::Matrix& g = n->grad;
+    Node* pa = n->parents[0].get();
+    Node* pb = n->parents[1].get();
+    if (Wants(n, 0)) {
+      la::Matrix da;
+      la::MatMulTransB(g, pb->value, &da);  // g * b^T
+      pa->EnsureGrad()->Add(da);
+    }
+    if (Wants(n, 1)) {
+      la::Matrix db;
+      la::MatMulTransA(pa->value, g, &db);  // a^T * g
+      pb->EnsureGrad()->Add(db);
+    }
+  });
+}
+
+Variable MatMulBT(const Variable& a, const Variable& b) {
+  SEMTAG_CHECK(a.cols() == b.cols());
+  la::Matrix out;
+  la::MatMulTransB(a.value(), b.value(), &out);
+  return MakeOpNode(std::move(out), Parents({&a, &b}), [](Node* n) {
+    const la::Matrix& g = n->grad;  // [m x n]
+    Node* pa = n->parents[0].get();
+    Node* pb = n->parents[1].get();
+    if (Wants(n, 0)) {
+      la::Matrix da;
+      la::MatMul(g, pb->value, &da);  // g * b
+      pa->EnsureGrad()->Add(da);
+    }
+    if (Wants(n, 1)) {
+      la::Matrix db;
+      la::MatMulTransA(g, pa->value, &db);  // g^T * a
+      pb->EnsureGrad()->Add(db);
+    }
+  });
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  SEMTAG_CHECK(a.value().SameShape(b.value()));
+  la::Matrix out = a.value();
+  out.Add(b.value());
+  return MakeOpNode(std::move(out), Parents({&a, &b}), [](Node* n) {
+    for (size_t i = 0; i < 2; ++i) {
+      if (Wants(n, i)) n->parents[i]->EnsureGrad()->Add(n->grad);
+    }
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  SEMTAG_CHECK(a.value().SameShape(b.value()));
+  la::Matrix out = a.value();
+  out.Sub(b.value());
+  return MakeOpNode(std::move(out), Parents({&a, &b}), [](Node* n) {
+    if (Wants(n, 0)) n->parents[0]->EnsureGrad()->Add(n->grad);
+    if (Wants(n, 1)) n->parents[1]->EnsureGrad()->Axpy(-1.0f, n->grad);
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  SEMTAG_CHECK(a.value().SameShape(b.value()));
+  la::Matrix out = a.value();
+  out.Mul(b.value());
+  return MakeOpNode(std::move(out), Parents({&a, &b}), [](Node* n) {
+    Node* pa = n->parents[0].get();
+    Node* pb = n->parents[1].get();
+    if (Wants(n, 0)) {
+      la::Matrix da = n->grad;
+      da.Mul(pb->value);
+      pa->EnsureGrad()->Add(da);
+    }
+    if (Wants(n, 1)) {
+      la::Matrix db = n->grad;
+      db.Mul(pa->value);
+      pb->EnsureGrad()->Add(db);
+    }
+  });
+}
+
+Variable ScalarMul(const Variable& a, float s) {
+  la::Matrix out = a.value();
+  out.Scale(s);
+  return MakeOpNode(std::move(out), Parents({&a}), [s](Node* n) {
+    if (Wants(n, 0)) n->parents[0]->EnsureGrad()->Axpy(s, n->grad);
+  });
+}
+
+Variable AddConst(const Variable& a, const la::Matrix& c) {
+  SEMTAG_CHECK(a.value().SameShape(c));
+  la::Matrix out = a.value();
+  out.Add(c);
+  return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
+    if (Wants(n, 0)) n->parents[0]->EnsureGrad()->Add(n->grad);
+  });
+}
+
+Variable AddRowBroadcast(const Variable& x, const Variable& row) {
+  la::Matrix out = x.value();
+  la::AddRowBroadcast(&out, row.value());
+  return MakeOpNode(std::move(out), Parents({&x, &row}), [](Node* n) {
+    if (Wants(n, 0)) n->parents[0]->EnsureGrad()->Add(n->grad);
+    if (Wants(n, 1)) {
+      n->parents[1]->EnsureGrad()->Add(la::SumRows(n->grad));
+    }
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  la::Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
+  }
+  return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
+    if (!Wants(n, 0)) return;
+    la::Matrix* pg = n->parents[0]->EnsureGrad();
+    for (size_t i = 0; i < n->value.size(); ++i) {
+      const float y = n->value.data()[i];
+      pg->data()[i] += n->grad.data()[i] * y * (1.0f - y);
+    }
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  la::Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
+    if (!Wants(n, 0)) return;
+    la::Matrix* pg = n->parents[0]->EnsureGrad();
+    for (size_t i = 0; i < n->value.size(); ++i) {
+      const float y = n->value.data()[i];
+      pg->data()[i] += n->grad.data()[i] * (1.0f - y * y);
+    }
+  });
+}
+
+Variable Relu(const Variable& a) {
+  la::Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+  }
+  return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
+    if (!Wants(n, 0)) return;
+    la::Matrix* pg = n->parents[0]->EnsureGrad();
+    for (size_t i = 0; i < n->value.size(); ++i) {
+      if (n->value.data()[i] > 0.0f) pg->data()[i] += n->grad.data()[i];
+    }
+  });
+}
+
+Variable Gelu(const Variable& a) {
+  // 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3))).
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  la::Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float x = out.data()[i];
+    out.data()[i] = 0.5f * x * (1.0f + std::tanh(kC * (x + kA * x * x * x)));
+  }
+  return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
+    if (!Wants(n, 0)) return;
+    la::Matrix* pg = n->parents[0]->EnsureGrad();
+    const la::Matrix& x = n->parents[0]->value;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const float xi = x.data()[i];
+      const float inner = kC * (xi + kA * xi * xi * xi);
+      const float t = std::tanh(inner);
+      const float dinner = kC * (1.0f + 3.0f * kA * xi * xi);
+      const float dy =
+          0.5f * (1.0f + t) + 0.5f * xi * (1.0f - t * t) * dinner;
+      pg->data()[i] += n->grad.data()[i] * dy;
+    }
+  });
+}
+
+Variable RowSoftmax(const Variable& a) {
+  la::Matrix out = a.value();
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    float mx = row[0];
+    for (size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (size_t c = 0; c < out.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t c = 0; c < out.cols(); ++c) row[c] *= inv;
+  }
+  return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
+    if (!Wants(n, 0)) return;
+    // dx = y * (g - (g . y)) row-wise.
+    la::Matrix* pg = n->parents[0]->EnsureGrad();
+    for (size_t r = 0; r < n->value.rows(); ++r) {
+      const float* y = n->value.Row(r);
+      const float* g = n->grad.Row(r);
+      float dot = 0.0f;
+      for (size_t c = 0; c < n->value.cols(); ++c) dot += y[c] * g[c];
+      float* dst = pg->Row(r);
+      for (size_t c = 0; c < n->value.cols(); ++c) {
+        dst[c] += y[c] * (g[c] - dot);
+      }
+    }
+  });
+}
+
+Variable Dropout(const Variable& a, double p, Rng* rng, bool training) {
+  if (!training || p <= 0.0) return a;
+  SEMTAG_CHECK(p < 1.0);
+  la::Matrix mask(a.rows(), a.cols());
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p));
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+  }
+  la::Matrix out = a.value();
+  out.Mul(mask);
+  return MakeOpNode(
+      std::move(out), Parents({&a}), [mask = std::move(mask)](Node* n) {
+        if (!Wants(n, 0)) return;
+        la::Matrix dg = n->grad;
+        dg.Mul(mask);
+        n->parents[0]->EnsureGrad()->Add(dg);
+      });
+}
+
+Variable SliceRows(const Variable& a, size_t r0, size_t r1) {
+  SEMTAG_CHECK(r0 < r1 && r1 <= a.rows());
+  la::Matrix out(r1 - r0, a.cols());
+  for (size_t r = r0; r < r1; ++r) {
+    std::copy(a.value().Row(r), a.value().Row(r) + a.cols(),
+              out.Row(r - r0));
+  }
+  return MakeOpNode(std::move(out), Parents({&a}), [r0](Node* n) {
+    if (!Wants(n, 0)) return;
+    la::Matrix* pg = n->parents[0]->EnsureGrad();
+    for (size_t r = 0; r < n->grad.rows(); ++r) {
+      const float* src = n->grad.Row(r);
+      float* dst = pg->Row(r0 + r);
+      for (size_t c = 0; c < n->grad.cols(); ++c) dst[c] += src[c];
+    }
+  });
+}
+
+Variable SliceColsRange(const Variable& a, size_t c0, size_t c1) {
+  SEMTAG_CHECK(c0 < c1 && c1 <= a.cols());
+  la::Matrix out(a.rows(), c1 - c0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    std::copy(a.value().Row(r) + c0, a.value().Row(r) + c1, out.Row(r));
+  }
+  return MakeOpNode(std::move(out), Parents({&a}), [c0](Node* n) {
+    if (!Wants(n, 0)) return;
+    la::Matrix* pg = n->parents[0]->EnsureGrad();
+    for (size_t r = 0; r < n->grad.rows(); ++r) {
+      const float* src = n->grad.Row(r);
+      float* dst = pg->Row(r) + c0;
+      for (size_t c = 0; c < n->grad.cols(); ++c) dst[c] += src[c];
+    }
+  });
+}
+
+Variable ConcatCols(const std::vector<Variable>& parts) {
+  SEMTAG_CHECK(!parts.empty());
+  const size_t rows = parts[0].rows();
+  size_t cols = 0;
+  std::vector<std::shared_ptr<Node>> parents;
+  for (const auto& p : parts) {
+    SEMTAG_CHECK(p.rows() == rows);
+    cols += p.cols();
+    parents.push_back(p.node());
+  }
+  la::Matrix out(rows, cols);
+  size_t offset = 0;
+  for (const auto& p : parts) {
+    for (size_t r = 0; r < rows; ++r) {
+      std::copy(p.value().Row(r), p.value().Row(r) + p.cols(),
+                out.Row(r) + offset);
+    }
+    offset += p.cols();
+  }
+  return MakeOpNode(std::move(out), std::move(parents), [](Node* n) {
+    size_t offset = 0;
+    for (size_t i = 0; i < n->parents.size(); ++i) {
+      Node* p = n->parents[i].get();
+      const size_t pc = p->value.cols();
+      if (p->requires_grad) {
+        la::Matrix* pg = p->EnsureGrad();
+        for (size_t r = 0; r < n->grad.rows(); ++r) {
+          const float* src = n->grad.Row(r) + offset;
+          float* dst = pg->Row(r);
+          for (size_t c = 0; c < pc; ++c) dst[c] += src[c];
+        }
+      }
+      offset += pc;
+    }
+  });
+}
+
+Variable MaxPoolRows(const Variable& a) {
+  SEMTAG_CHECK(a.rows() >= 1);
+  la::Matrix out(1, a.cols());
+  std::vector<uint32_t> argmax(a.cols(), 0);
+  for (size_t c = 0; c < a.cols(); ++c) {
+    float best = a.value()(0, c);
+    for (size_t r = 1; r < a.rows(); ++r) {
+      const float v = a.value()(r, c);
+      if (v > best) {
+        best = v;
+        argmax[c] = static_cast<uint32_t>(r);
+      }
+    }
+    out(0, c) = best;
+  }
+  return MakeOpNode(std::move(out), Parents({&a}),
+                    [argmax = std::move(argmax)](Node* n) {
+                      if (!Wants(n, 0)) return;
+                      la::Matrix* pg = n->parents[0]->EnsureGrad();
+                      for (size_t c = 0; c < n->grad.cols(); ++c) {
+                        (*pg)(argmax[c], c) += n->grad(0, c);
+                      }
+                    });
+}
+
+Variable MeanRows(const Variable& a) {
+  SEMTAG_CHECK(a.rows() >= 1);
+  la::Matrix out = la::SumRows(a.value());
+  const float inv = 1.0f / static_cast<float>(a.rows());
+  out.Scale(inv);
+  return MakeOpNode(std::move(out), Parents({&a}), [inv](Node* n) {
+    if (!Wants(n, 0)) return;
+    la::Matrix* pg = n->parents[0]->EnsureGrad();
+    for (size_t r = 0; r < pg->rows(); ++r) {
+      const float* g = n->grad.Row(0);
+      float* dst = pg->Row(r);
+      for (size_t c = 0; c < pg->cols(); ++c) dst[c] += inv * g[c];
+    }
+  });
+}
+
+Variable EmbeddingLookup(const Variable& table,
+                         const std::vector<int32_t>& ids) {
+  const size_t d = table.cols();
+  la::Matrix out(ids.size(), d);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    SEMTAG_CHECK(ids[i] >= 0 &&
+                 static_cast<size_t>(ids[i]) < table.rows());
+    std::copy(table.value().Row(static_cast<size_t>(ids[i])),
+              table.value().Row(static_cast<size_t>(ids[i])) + d,
+              out.Row(i));
+  }
+  return MakeOpNode(std::move(out), Parents({&table}), [ids](Node* n) {
+    if (!Wants(n, 0)) return;
+    la::Matrix* pg = n->parents[0]->EnsureGrad();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const float* src = n->grad.Row(i);
+      float* dst = pg->Row(static_cast<size_t>(ids[i]));
+      for (size_t c = 0; c < n->grad.cols(); ++c) dst[c] += src[c];
+    }
+  });
+}
+
+Variable GatherRows(const Variable& x, const std::vector<int32_t>& rows) {
+  la::Matrix out(rows.size(), x.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    SEMTAG_CHECK(rows[i] >= 0 && static_cast<size_t>(rows[i]) < x.rows());
+    std::copy(x.value().Row(static_cast<size_t>(rows[i])),
+              x.value().Row(static_cast<size_t>(rows[i])) + x.cols(),
+              out.Row(i));
+  }
+  return MakeOpNode(std::move(out), Parents({&x}), [rows](Node* n) {
+    if (!Wants(n, 0)) return;
+    la::Matrix* pg = n->parents[0]->EnsureGrad();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const float* src = n->grad.Row(i);
+      float* dst = pg->Row(static_cast<size_t>(rows[i]));
+      for (size_t c = 0; c < n->grad.cols(); ++c) dst[c] += src[c];
+    }
+  });
+}
+
+Variable Conv1d(const Variable& x, const Variable& w, const Variable& b,
+                int width) {
+  const size_t L = x.rows();
+  const size_t d = x.cols();
+  SEMTAG_CHECK(width >= 1 && L >= static_cast<size_t>(width));
+  SEMTAG_CHECK(w.rows() == static_cast<size_t>(width) * d);
+  SEMTAG_CHECK(b.rows() == 1 && b.cols() == w.cols());
+  const size_t out_len = L - static_cast<size_t>(width) + 1;
+  // im2col: row t = concat(x[t], ..., x[t+width-1]).
+  la::Matrix cols(out_len, static_cast<size_t>(width) * d);
+  for (size_t t = 0; t < out_len; ++t) {
+    float* dst = cols.Row(t);
+    for (int k = 0; k < width; ++k) {
+      std::copy(x.value().Row(t + static_cast<size_t>(k)),
+                x.value().Row(t + static_cast<size_t>(k)) + d,
+                dst + static_cast<size_t>(k) * d);
+    }
+  }
+  la::Matrix out;
+  la::MatMul(cols, w.value(), &out);
+  la::AddRowBroadcast(&out, b.value());
+  return MakeOpNode(
+      std::move(out), Parents({&x, &w, &b}),
+      [cols = std::move(cols), width, d](Node* n) {
+        const la::Matrix& g = n->grad;  // [out_len x F]
+        Node* px = n->parents[0].get();
+        Node* pw = n->parents[1].get();
+        Node* pb = n->parents[2].get();
+        if (pb->requires_grad) pb->EnsureGrad()->Add(la::SumRows(g));
+        if (pw->requires_grad) {
+          la::Matrix dw;
+          la::MatMulTransA(cols, g, &dw);
+          pw->EnsureGrad()->Add(dw);
+        }
+        if (px->requires_grad) {
+          la::Matrix dcols;
+          la::MatMulTransB(g, pw->value, &dcols);  // [out_len x width*d]
+          la::Matrix* pg = px->EnsureGrad();
+          for (size_t t = 0; t < dcols.rows(); ++t) {
+            const float* src = dcols.Row(t);
+            for (int k = 0; k < width; ++k) {
+              float* dst = pg->Row(t + static_cast<size_t>(k));
+              for (size_t c = 0; c < d; ++c) {
+                dst[c] += src[static_cast<size_t>(k) * d + c];
+              }
+            }
+          }
+        }
+      });
+}
+
+Variable LayerNorm(const Variable& x, const Variable& gain,
+                   const Variable& bias, float eps) {
+  const size_t C = x.cols();
+  SEMTAG_CHECK(gain.rows() == 1 && gain.cols() == C);
+  SEMTAG_CHECK(bias.rows() == 1 && bias.cols() == C);
+  la::Matrix normalized(x.rows(), C);
+  std::vector<float> inv_std(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.value().Row(r);
+    float mean = 0.0f;
+    for (size_t c = 0; c < C; ++c) mean += row[c];
+    mean /= static_cast<float>(C);
+    float var = 0.0f;
+    for (size_t c = 0; c < C; ++c) {
+      const float dxc = row[c] - mean;
+      var += dxc * dxc;
+    }
+    var /= static_cast<float>(C);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    inv_std[r] = istd;
+    float* nrow = normalized.Row(r);
+    for (size_t c = 0; c < C; ++c) nrow[c] = (row[c] - mean) * istd;
+  }
+  la::Matrix out = normalized;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    const float* grow = gain.value().Row(0);
+    const float* brow = bias.value().Row(0);
+    for (size_t c = 0; c < C; ++c) row[c] = row[c] * grow[c] + brow[c];
+  }
+  return MakeOpNode(
+      std::move(out), Parents({&x, &gain, &bias}),
+      [normalized = std::move(normalized),
+       inv_std = std::move(inv_std)](Node* n) {
+        const la::Matrix& g = n->grad;
+        const size_t C = g.cols();
+        Node* px = n->parents[0].get();
+        Node* pgain = n->parents[1].get();
+        Node* pbias = n->parents[2].get();
+        if (pbias->requires_grad) pbias->EnsureGrad()->Add(la::SumRows(g));
+        if (pgain->requires_grad) {
+          la::Matrix gy = g;
+          gy.Mul(normalized);
+          pgain->EnsureGrad()->Add(la::SumRows(gy));
+        }
+        if (px->requires_grad) {
+          la::Matrix* pg = px->EnsureGrad();
+          const float* gain_row = pgain->value.Row(0);
+          for (size_t r = 0; r < g.rows(); ++r) {
+            const float* grow = g.Row(r);
+            const float* yrow = normalized.Row(r);
+            // ghat = g * gain (grad wrt normalized values).
+            float mean_ghat = 0.0f;
+            float mean_ghat_y = 0.0f;
+            for (size_t c = 0; c < C; ++c) {
+              const float gh = grow[c] * gain_row[c];
+              mean_ghat += gh;
+              mean_ghat_y += gh * yrow[c];
+            }
+            mean_ghat /= static_cast<float>(C);
+            mean_ghat_y /= static_cast<float>(C);
+            float* dst = pg->Row(r);
+            for (size_t c = 0; c < C; ++c) {
+              const float gh = grow[c] * gain_row[c];
+              dst[c] +=
+                  inv_std[r] * (gh - mean_ghat - yrow[c] * mean_ghat_y);
+            }
+          }
+        }
+      });
+}
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int32_t>& labels) {
+  const size_t N = logits.rows();
+  const size_t C = logits.cols();
+  SEMTAG_CHECK(labels.size() == N && N > 0);
+  // Probabilities stored for the backward pass.
+  la::Matrix probs = logits.value();
+  double total = 0.0;
+  for (size_t r = 0; r < N; ++r) {
+    float* row = probs.Row(r);
+    float mx = row[0];
+    for (size_t c = 1; c < C; ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (size_t c = 0; c < C; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (size_t c = 0; c < C; ++c) row[c] *= inv;
+    SEMTAG_CHECK(labels[r] >= 0 && static_cast<size_t>(labels[r]) < C);
+    total -= std::log(
+        std::max(1e-12f, row[static_cast<size_t>(labels[r])]));
+  }
+  la::Matrix loss(1, 1, static_cast<float>(total / static_cast<double>(N)));
+  return MakeOpNode(
+      std::move(loss), Parents({&logits}),
+      [probs = std::move(probs), labels](Node* n) {
+        if (!Wants(n, 0)) return;
+        const float scale =
+            n->grad(0, 0) / static_cast<float>(probs.rows());
+        la::Matrix* pg = n->parents[0]->EnsureGrad();
+        for (size_t r = 0; r < probs.rows(); ++r) {
+          const float* p = probs.Row(r);
+          float* dst = pg->Row(r);
+          for (size_t c = 0; c < probs.cols(); ++c) {
+            float d = p[c];
+            if (static_cast<size_t>(labels[r]) == c) d -= 1.0f;
+            dst[c] += scale * d;
+          }
+        }
+      });
+}
+
+Variable SumToScalar(const Variable& a) {
+  la::Matrix out(1, 1, a.value().Sum());
+  return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
+    if (!Wants(n, 0)) return;
+    la::Matrix* pg = n->parents[0]->EnsureGrad();
+    const float g = n->grad(0, 0);
+    for (size_t i = 0; i < pg->size(); ++i) pg->data()[i] += g;
+  });
+}
+
+}  // namespace semtag::nn

@@ -1,0 +1,97 @@
+#ifndef SEMTAG_NN_OPS_H_
+#define SEMTAG_NN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/variable.h"
+
+namespace semtag::nn {
+
+/// Differentiable operations. Every function builds one graph node; the
+/// backward pass accumulates into parents' grads (guarding each parent with
+/// requires_grad). Shapes are checked with SEMTAG_CHECK.
+
+/// [m,k] x [k,n] -> [m,n].
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// a * b^T : [m,k] x [n,k] -> [m,n] (attention scores).
+Variable MatMulBT(const Variable& a, const Variable& b);
+
+/// Elementwise a + b (same shape).
+Variable Add(const Variable& a, const Variable& b);
+
+/// Elementwise a - b (same shape).
+Variable Sub(const Variable& a, const Variable& b);
+
+/// Elementwise (Hadamard) product.
+Variable Mul(const Variable& a, const Variable& b);
+
+/// s * a.
+Variable ScalarMul(const Variable& a, float s);
+
+/// a + c where c is a non-differentiable constant (e.g. attention mask).
+Variable AddConst(const Variable& a, const la::Matrix& c);
+
+/// Adds the 1xC `row` to every row of x ([RxC]) — the bias op. Gradient of
+/// `row` is the column sum of the output gradient.
+Variable AddRowBroadcast(const Variable& x, const Variable& row);
+
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Relu(const Variable& a);
+/// tanh-approximation GELU (BERT's activation).
+Variable Gelu(const Variable& a);
+
+/// Row-wise softmax.
+Variable RowSoftmax(const Variable& a);
+
+/// Inverted dropout; identity when !training or p == 0.
+Variable Dropout(const Variable& a, double p, Rng* rng, bool training);
+
+/// Copy of rows [r0, r1).
+Variable SliceRows(const Variable& a, size_t r0, size_t r1);
+
+/// Copy of columns [c0, c1) (LSTM fused-gate unpacking).
+Variable SliceColsRange(const Variable& a, size_t c0, size_t c1);
+
+/// Horizontal concatenation; all inputs must have the same row count.
+Variable ConcatCols(const std::vector<Variable>& parts);
+
+/// Column-wise max over rows: [RxC] -> [1xC] (max-over-time pooling).
+Variable MaxPoolRows(const Variable& a);
+
+/// Column-wise mean over rows: [RxC] -> [1xC].
+Variable MeanRows(const Variable& a);
+
+/// Gathers rows of `table` ([VxD]) by id -> [len(ids) x D]. Backward
+/// scatter-adds into the table gradient.
+Variable EmbeddingLookup(const Variable& table,
+                         const std::vector<int32_t>& ids);
+
+/// Differentiable row gather: out[i] = x[rows[i]] (duplicate rows allowed);
+/// backward scatter-adds. Used to pick masked positions for the MLM loss.
+Variable GatherRows(const Variable& x, const std::vector<int32_t>& rows);
+
+/// 1-D convolution over time via im2col: x [L x D], w [(width*D) x F],
+/// b [1 x F] -> [(L-width+1) x F]. Requires L >= width.
+Variable Conv1d(const Variable& x, const Variable& w, const Variable& b,
+                int width);
+
+/// Row-wise layer normalization with learned gain/bias (both 1xC).
+Variable LayerNorm(const Variable& x, const Variable& gain,
+                   const Variable& bias, float eps = 1e-5f);
+
+/// Mean softmax cross-entropy over rows of `logits` ([NxC]) against integer
+/// labels (size N). Returns a 1x1 loss. Fused op: backward is
+/// (softmax - onehot)/N, numerically stable.
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int32_t>& labels);
+
+/// Sum of all elements -> 1x1 (L2 regularization terms, tests).
+Variable SumToScalar(const Variable& a);
+
+}  // namespace semtag::nn
+
+#endif  // SEMTAG_NN_OPS_H_

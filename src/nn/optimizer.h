@@ -1,0 +1,77 @@
+#ifndef SEMTAG_NN_OPTIMIZER_H_
+#define SEMTAG_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace semtag::nn {
+
+/// Base optimizer over a fixed parameter list. Step() applies the update
+/// using each parameter's accumulated .grad, then the caller (or Step
+/// itself via zero_grad_after_step) clears gradients.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update and zeroes gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most max_norm.
+  void ClipGradNorm(float max_norm);
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+/// SGD with optional momentum and decoupled L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<la::Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and decoupled weight decay
+/// (AdamW-style), the optimizer used by the deep models.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<la::Matrix> m_;
+  std::vector<la::Matrix> v_;
+};
+
+}  // namespace semtag::nn
+
+#endif  // SEMTAG_NN_OPTIMIZER_H_

@@ -1,0 +1,28 @@
+#include "nn/schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace semtag::nn {
+
+WarmupLinearDecayLr::WarmupLinearDecayLr(double peak_lr,
+                                         int64_t warmup_steps,
+                                         int64_t total_steps)
+    : peak_lr_(peak_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps) {
+  SEMTAG_CHECK(warmup_steps >= 0 && total_steps > warmup_steps);
+}
+
+double WarmupLinearDecayLr::At(int64_t step) const {
+  if (step < warmup_steps_) {
+    return peak_lr_ * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps_);
+  }
+  const double remaining = static_cast<double>(total_steps_ - step) /
+                           static_cast<double>(total_steps_ - warmup_steps_);
+  return peak_lr_ * std::max(0.0, remaining);
+}
+
+}  // namespace semtag::nn

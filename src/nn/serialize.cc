@@ -1,0 +1,66 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace semtag::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x53544147;  // "STAG"
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path,
+                      const std::vector<Variable>& params) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  const uint32_t magic = kMagic;
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const uint64_t rows = p.value().rows();
+    const uint64_t cols = p.value().cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  }
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& path,
+                      std::vector<Variable>* params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    return Status::InvalidArgument("bad checkpoint header: " + path);
+  }
+  if (count != params->size()) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint has %llu tensors, expected %zu",
+                  static_cast<unsigned long long>(count), params->size()));
+  }
+  for (auto& p : *params) {
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in || rows != p.value().rows() || cols != p.value().cols()) {
+      return Status::InvalidArgument("checkpoint shape mismatch: " + path);
+    }
+    in.read(reinterpret_cast<char*>(p.mutable_value().data()),
+            static_cast<std::streamsize>(rows * cols * sizeof(float)));
+    if (!in) return Status::IoError("short read: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace semtag::nn

@@ -1,0 +1,24 @@
+#ifndef SEMTAG_NN_SERIALIZE_H_
+#define SEMTAG_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/variable.h"
+
+namespace semtag::nn {
+
+/// Writes the values of `params` to a binary checkpoint file. Format:
+/// magic, count, then per-parameter (rows, cols, float32 data). Used to
+/// cache the MiniBert pretrained weights across processes.
+Status SaveCheckpoint(const std::string& path,
+                      const std::vector<Variable>& params);
+
+/// Loads a checkpoint into `params` (shapes must match exactly).
+Status LoadCheckpoint(const std::string& path,
+                      std::vector<Variable>* params);
+
+}  // namespace semtag::nn
+
+#endif  // SEMTAG_NN_SERIALIZE_H_

@@ -1,0 +1,95 @@
+#include "nn/variable.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace semtag::nn {
+
+namespace internal {
+
+namespace {
+std::atomic<uint64_t> g_sequence{1};
+}  // namespace
+
+la::Matrix* Node::EnsureGrad() {
+  if (!grad.SameShape(value)) {
+    grad = la::Matrix(value.rows(), value.cols());
+  }
+  return &grad;
+}
+
+}  // namespace internal
+
+Variable::Variable(la::Matrix value, bool requires_grad) {
+  node_ = std::make_shared<internal::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->sequence = internal::g_sequence.fetch_add(1);
+}
+
+void Variable::ZeroGrad() {
+  SEMTAG_CHECK(node_ != nullptr);
+  if (node_->grad.SameShape(node_->value)) {
+    node_->grad.Fill(0.0f);
+  }
+}
+
+Variable MakeOpNode(la::Matrix value,
+                    std::vector<std::shared_ptr<internal::Node>> parents,
+                    std::function<void(internal::Node*)> backward) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->sequence = internal::g_sequence.fetch_add(1);
+  for (const auto& p : parents) {
+    if (p->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  if (node->requires_grad) {
+    node->parents = std::move(parents);
+    node->backward = std::move(backward);
+  }
+  return Variable(std::move(node));
+}
+
+void Backward(const Variable& loss) {
+  SEMTAG_CHECK(loss.defined());
+  SEMTAG_CHECK(loss.value().rows() == 1 && loss.value().cols() == 1);
+  internal::Node* root = loss.node().get();
+  if (!root->requires_grad) return;
+  root->EnsureGrad()->Fill(1.0f);
+
+  // Collect the reachable sub-graph that requires grad.
+  std::vector<internal::Node*> nodes;
+  std::unordered_set<internal::Node*> seen;
+  std::vector<internal::Node*> stack = {root};
+  seen.insert(root);
+  while (!stack.empty()) {
+    internal::Node* n = stack.back();
+    stack.pop_back();
+    nodes.push_back(n);
+    for (const auto& p : n->parents) {
+      if (p->requires_grad && seen.insert(p.get()).second) {
+        stack.push_back(p.get());
+      }
+    }
+  }
+  // Parents are created before children, so descending sequence order is a
+  // valid reverse-topological order.
+  std::sort(nodes.begin(), nodes.end(),
+            [](const internal::Node* a, const internal::Node* b) {
+              return a->sequence > b->sequence;
+            });
+  for (internal::Node* n : nodes) {
+    if (n->backward) {
+      n->EnsureGrad();  // ops may never have received a gradient
+      n->backward(n);
+    }
+  }
+}
+
+}  // namespace semtag::nn

@@ -1,0 +1,34 @@
+#include "text/ngram.h"
+
+#include "common/logging.h"
+
+namespace semtag::text {
+
+std::vector<std::string> ExtractNgrams(const std::vector<std::string>& tokens,
+                                       int min_n, int max_n) {
+  SEMTAG_CHECK(min_n >= 1 && max_n >= min_n);
+  std::vector<std::string> out;
+  const int count = static_cast<int>(tokens.size());
+  size_t total = 0;
+  for (int n = min_n; n <= max_n; ++n) {
+    if (count >= n) total += static_cast<size_t>(count - n + 1);
+  }
+  out.reserve(total);
+  for (int n = min_n; n <= max_n; ++n) {
+    for (int i = 0; i + n <= count; ++i) {
+      if (n == 1) {
+        out.push_back(tokens[i]);
+        continue;
+      }
+      std::string gram = tokens[i];
+      for (int j = 1; j < n; ++j) {
+        gram.push_back('_');
+        gram += tokens[i + j];
+      }
+      out.push_back(std::move(gram));
+    }
+  }
+  return out;
+}
+
+}  // namespace semtag::text

@@ -1,0 +1,18 @@
+#ifndef SEMTAG_TEXT_NGRAM_H_
+#define SEMTAG_TEXT_NGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace semtag::text {
+
+/// Expands word tokens into n-gram features for BoW models. With
+/// min_n=1, max_n=2 (the paper's best setting for LR/SVM) the output is the
+/// unigrams followed by bigrams joined with an underscore:
+///   ["try","the","cakes"] -> ["try","the","cakes","try_the","the_cakes"].
+std::vector<std::string> ExtractNgrams(const std::vector<std::string>& tokens,
+                                       int min_n, int max_n);
+
+}  // namespace semtag::text
+
+#endif  // SEMTAG_TEXT_NGRAM_H_

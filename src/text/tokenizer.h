@@ -1,0 +1,27 @@
+#ifndef SEMTAG_TEXT_TOKENIZER_H_
+#define SEMTAG_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace semtag::text {
+
+/// Options for Tokenize.
+struct TokenizerOptions {
+  /// Lowercase ASCII letters before emitting tokens.
+  bool lowercase = true;
+  /// Emit punctuation marks ('!', '?', ...) as single-character tokens;
+  /// useful for humor/suggestion detection where "!!!!" carries signal.
+  bool keep_punctuation = false;
+};
+
+/// Splits text into word tokens. A token is a maximal run of alphanumeric
+/// characters (plus apostrophes inside words, so "don't" stays one token);
+/// everything else is a separator.
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options = {});
+
+}  // namespace semtag::text
+
+#endif  // SEMTAG_TEXT_TOKENIZER_H_

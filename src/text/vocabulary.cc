@@ -1,0 +1,53 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace semtag::text {
+
+int32_t Vocabulary::Add(std::string token, int64_t doc_freq) {
+  const int32_t id = static_cast<int32_t>(tokens_.size());
+  auto [it, inserted] = index_.emplace(token, id);
+  SEMTAG_CHECK(inserted);
+  tokens_.push_back(std::move(token));
+  doc_freqs_.push_back(doc_freq);
+  return id;
+}
+
+int32_t Vocabulary::Lookup(std::string_view token) const {
+  // unordered_map<string>::find accepts string keys only pre-C++20
+  // heterogenous lookup; construct once.
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kUnknownTokenId : it->second;
+}
+
+void VocabularyBuilder::AddDocument(const std::vector<std::string>& tokens) {
+  // Count each distinct token once per document.
+  // Small documents: linear de-dup via sort of a local copy is wasteful;
+  // use a temporary map for clarity.
+  std::unordered_map<std::string_view, bool> seen;
+  seen.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    if (seen.emplace(t, true).second) ++counts_[t];
+  }
+}
+
+Vocabulary VocabularyBuilder::Build(int64_t min_count,
+                                    size_t max_size) const {
+  std::vector<std::pair<std::string, int64_t>> items;
+  items.reserve(counts_.size());
+  for (const auto& [token, count] : counts_) {
+    if (count >= min_count) items.emplace_back(token, count);
+  }
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  if (max_size > 0 && items.size() > max_size) items.resize(max_size);
+  Vocabulary vocab;
+  for (auto& [token, count] : items) vocab.Add(std::move(token), count);
+  return vocab;
+}
+
+}  // namespace semtag::text

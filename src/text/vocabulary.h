@@ -1,0 +1,65 @@
+#ifndef SEMTAG_TEXT_VOCABULARY_H_
+#define SEMTAG_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace semtag::text {
+
+/// Sentinel id for tokens that are not in the vocabulary.
+inline constexpr int32_t kUnknownTokenId = -1;
+
+/// Bidirectional token <-> id map with document frequencies.
+///
+/// Build once from a corpus with VocabularyBuilder (which applies min_count /
+/// max_size pruning), then use Lookup for O(1) id resolution.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Adds a token with the given document frequency; returns its id.
+  /// Tokens must be unique.
+  int32_t Add(std::string token, int64_t doc_freq);
+
+  /// Returns the id for `token` or kUnknownTokenId.
+  int32_t Lookup(std::string_view token) const;
+
+  /// Token string for an id.
+  const std::string& TokenOf(int32_t id) const { return tokens_[id]; }
+
+  /// Document frequency recorded for an id.
+  int64_t DocFreqOf(int32_t id) const { return doc_freqs_[id]; }
+
+  int32_t size() const { return static_cast<int32_t>(tokens_.size()); }
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> doc_freqs_;
+};
+
+/// Accumulates token document-frequencies over a corpus, then freezes into a
+/// Vocabulary.
+class VocabularyBuilder {
+ public:
+  /// Counts each distinct token in `tokens` once (document frequency).
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  /// Number of distinct tokens seen so far. Used to reproduce the paper's
+  /// vocabulary-growth analysis (Figure 9).
+  size_t DistinctTokens() const { return counts_.size(); }
+
+  /// Freezes into a Vocabulary keeping tokens with doc_freq >= min_count,
+  /// most frequent first, at most max_size tokens (0 = unlimited).
+  Vocabulary Build(int64_t min_count = 1, size_t max_size = 0) const;
+
+ private:
+  std::unordered_map<std::string, int64_t> counts_;
+};
+
+}  // namespace semtag::text
+
+#endif  // SEMTAG_TEXT_VOCABULARY_H_

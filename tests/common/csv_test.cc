@@ -1,0 +1,72 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace semtag {
+namespace {
+
+TEST(CsvWriterTest, PlainRows) {
+  CsvWriter w;
+  w.AddRow({"a", "b"});
+  w.AddRow({"1", "2"});
+  EXPECT_EQ(w.ToString(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter w;
+  w.AddRow({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  EXPECT_EQ(w.ToString(),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(ParseCsvTest, RoundTripsWriter) {
+  CsvWriter w;
+  w.AddRow({"x,y", "a\"b", "line1\nline2"});
+  w.AddRow({"", "second"});
+  auto rows = ParseCsv(w.ToString());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], "x,y");
+  EXPECT_EQ((*rows)[0][1], "a\"b");
+  EXPECT_EQ((*rows)[0][2], "line1\nline2");
+  EXPECT_EQ((*rows)[1][0], "");
+  EXPECT_EQ((*rows)[1][1], "second");
+}
+
+TEST(ParseCsvTest, HandlesCrlfAndNoTrailingNewline) {
+  auto rows = ParseCsv("a,b\r\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "d");
+}
+
+TEST(ParseCsvTest, EmptyInput) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(ParseCsv("a,\"oops").ok());
+}
+
+TEST(FileIoTest, WriteAndReadBack) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "semtag_csv_io.txt")
+          .string();
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsError) {
+  EXPECT_FALSE(ReadFileToString("/nonexistent/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace semtag

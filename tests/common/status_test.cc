@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace semtag {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad ratio");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad ratio");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad ratio");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "hello");
+}
+
+Status Helper(bool fail) {
+  if (fail) return Status::Internal("inner");
+  return Status::OK();
+}
+
+Status UseReturnNotOk(bool fail) {
+  SEMTAG_RETURN_NOT_OK(Helper(fail));
+  return Status::AlreadyExists("reached end");
+}
+
+TEST(ResultTest, ReturnNotOkMacro) {
+  EXPECT_EQ(UseReturnNotOk(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(UseReturnNotOk(false).code(), StatusCode::kAlreadyExists);
+}
+
+Result<int> MakeInt(bool fail) {
+  if (fail) return Status::NotFound("no int");
+  return 7;
+}
+
+Status UseAssignOrReturn(bool fail, int* out) {
+  SEMTAG_ASSIGN_OR_RETURN(int v, MakeInt(fail));
+  *out = v;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(UseAssignOrReturn(true, &out).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace semtag

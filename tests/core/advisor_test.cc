@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+
+namespace semtag::core {
+namespace {
+
+AdviceRequest MakeRequest(int64_t records, double ratio, bool clean,
+                          bool fast = false) {
+  AdviceRequest request;
+  request.profile.num_records = records;
+  request.profile.positive_ratio = ratio;
+  request.profile.labels_clean = clean;
+  request.need_fast_training = fast;
+  return request;
+}
+
+TEST(AdvisorTest, SmallDatasetGetsBert) {
+  const Advice advice = RecommendModel(MakeRequest(5000, 0.3, true));
+  EXPECT_EQ(advice.recommended, models::ModelKind::kBert);
+  EXPECT_FALSE(advice.rationale.empty());
+}
+
+TEST(AdvisorTest, LargeDirtyDatasetGetsSimple) {
+  const Advice advice = RecommendModel(MakeRequest(5000000, 0.03, false));
+  EXPECT_EQ(advice.recommended, models::ModelKind::kSvm);
+}
+
+TEST(AdvisorTest, LargeImbalancedCleanStillGetsSimple) {
+  // Large-L: simple models win on average even when labels are clean.
+  const Advice advice = RecommendModel(MakeRequest(500000, 0.05, true));
+  EXPECT_EQ(advice.recommended, models::ModelKind::kSvm);
+}
+
+TEST(AdvisorTest, LargeCleanBalancedWithoutConstraintGetsBert) {
+  const Advice advice = RecommendModel(MakeRequest(1000000, 0.5, true));
+  EXPECT_EQ(advice.recommended, models::ModelKind::kBert);
+}
+
+TEST(AdvisorTest, FastTrainingConstraintFlipsLargeToSvm) {
+  const Advice advice =
+      RecommendModel(MakeRequest(1000000, 0.5, true, /*fast=*/true));
+  EXPECT_EQ(advice.recommended, models::ModelKind::kSvm);
+}
+
+TEST(AdvisorTest, LowRatioWarningAppended) {
+  const Advice advice = RecommendModel(MakeRequest(5000, 0.05, true));
+  EXPECT_NE(advice.rationale.find("Low positive ratio"),
+            std::string::npos);
+}
+
+TEST(AdvisorTest, NeighborsComeFromReference) {
+  // A profile matching AMAZON should find AMAZON among neighbors.
+  const Advice advice = RecommendModel(MakeRequest(3600000, 0.5, true));
+  bool found = false;
+  for (const auto& n : advice.neighbors) found |= (n == "AMAZON");
+  EXPECT_TRUE(found);
+  EXPECT_EQ(advice.neighbors.size(), 3u);
+  EXPECT_LE(advice.expected_f1_low, advice.expected_f1_high);
+  EXPECT_GT(advice.expected_f1_high, 0.8);  // AMAZON/YELP territory
+}
+
+TEST(AdvisorTest, DirtyNeighborhoodPredictsLowF1) {
+  // A FUNNY-like profile should land in the dirty/imbalanced corner with a
+  // depressed F1 band.
+  const Advice advice = RecommendModel(MakeRequest(4750000, 0.025, false));
+  EXPECT_LT(advice.expected_f1_low, 0.5);
+}
+
+TEST(PaperHeatMapTest, MatchesFigure11Anchors) {
+  const auto rows = PaperHeatMap();
+  ASSERT_EQ(rows.size(), 21u);
+  for (const auto& row : rows) {
+    if (row.dataset == "SUGG") {
+      EXPECT_DOUBLE_EQ(row.bert_f1, 0.86);
+      EXPECT_DOUBLE_EQ(row.svm_f1, 0.77);
+    }
+    if (row.dataset == "QUOTE") {
+      EXPECT_DOUBLE_EQ(row.bert_f1, 0.66);
+      EXPECT_DOUBLE_EQ(row.svm_f1, 0.10);
+    }
+  }
+}
+
+TEST(RenderHeatMapTest, PlainTextContainsAllDatasets) {
+  const std::string rendered = RenderHeatMap(PaperHeatMap(), false);
+  for (const auto& spec : data::AllDatasetSpecs()) {
+    EXPECT_NE(rendered.find(spec.name), std::string::npos) << spec.name;
+  }
+  EXPECT_EQ(rendered.find('\x1b'), std::string::npos);  // no ANSI codes
+}
+
+TEST(RenderHeatMapTest, ColorModeEmitsAnsi) {
+  const std::string rendered = RenderHeatMap(PaperHeatMap(), true);
+  EXPECT_NE(rendered.find('\x1b'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semtag::core

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/characteristics.h"
+#include "data/specs.h"
+
+namespace semtag::core {
+namespace {
+
+data::Dataset SignalDataset() {
+  data::Dataset d("sig");
+  // "great" in all positives and 1 of 5 negatives; "the" everywhere.
+  for (int i = 0; i < 5; ++i) {
+    d.Add(data::Example{"the food was great here", 1, 1});
+  }
+  d.Add(data::Example{"the food was great anyway", 0, 0});
+  for (int i = 0; i < 4; ++i) {
+    d.Add(data::Example{"the food was bland here", 0, 0});
+  }
+  return d;
+}
+
+TEST(InformativeTokensTest, RanksByPMinusN) {
+  const auto tokens = TopInformativeTokens(SignalDataset(), 3, 1);
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens[0].token, "great");
+  EXPECT_DOUBLE_EQ(tokens[0].p, 1.0);
+  EXPECT_DOUBLE_EQ(tokens[0].n, 0.2);
+}
+
+TEST(InformativeTokensTest, StopwordsHaveLowGap) {
+  const auto tokens = TopInformativeTokens(SignalDataset(), 20, 1);
+  for (const auto& t : tokens) {
+    if (t.token == "the") {
+      EXPECT_DOUBLE_EQ(t.p - t.n, 0.0);
+    }
+  }
+}
+
+TEST(InformativeTokensTest, MinRecordsFilters) {
+  data::Dataset d = SignalDataset();
+  d.Add(data::Example{"sesquipedalian", 1, 1});
+  const auto tokens = TopInformativeTokens(d, 50, 5);
+  for (const auto& t : tokens) EXPECT_NE(t.token, "sesquipedalian");
+}
+
+TEST(InformativeTokensTest, EmptyOnSingleClass) {
+  data::Dataset d("one");
+  d.Add(data::Example{"text", 1, 1});
+  EXPECT_TRUE(TopInformativeTokens(d, 5, 1).empty());
+}
+
+TEST(VocabularyGrowthTest, MonotoneAndClamped) {
+  const auto spec = *data::FindSpec("HETER");
+  const data::Dataset d = data::BuildDataset(spec);
+  const auto points =
+      VocabularyGrowth(d, {50, 100, 200, 1000000});
+  ASSERT_EQ(points.size(), 4u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].distinct_words, points[i - 1].distinct_words);
+    EXPECT_GE(points[i].records, points[i - 1].records);
+  }
+  // Clamped to the dataset size.
+  EXPECT_EQ(points.back().records, static_cast<int64_t>(d.size()));
+  // The curve grows: more records expose more distinct words (Figure 9).
+  EXPECT_GT(points[2].distinct_words, points[0].distinct_words);
+}
+
+TEST(ProfileTest, MatchesStats) {
+  const data::Dataset d = SignalDataset();
+  const DatasetProfile p = ProfileDataset(d);
+  EXPECT_EQ(p.num_records, 10);
+  EXPECT_DOUBLE_EQ(p.positive_ratio, 0.5);
+  EXPECT_GT(p.vocab_size, 4);
+  EXPECT_TRUE(p.labels_clean);
+}
+
+}  // namespace
+}  // namespace semtag::core

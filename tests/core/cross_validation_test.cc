@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/cross_validation.h"
+#include "data/generator.h"
+#include "data/specs.h"
+
+namespace semtag::core {
+namespace {
+
+data::Dataset EasyDataset(int n, double ratio = 0.5) {
+  data::GeneratorConfig config;
+  config.bg_vocab = 1800;
+  config.signal_topic = 22;
+  config.positive_topics = {23, 24};
+  config.negative_topics = {25, 26};
+  config.signal_strength = 0.35;
+  config.seed = 811;
+  return data::GenerateDataset(data::SharedLanguage(), config, "cv", n,
+                               ratio);
+}
+
+TEST(CrossValidationTest, FiveFoldLrOnSeparableTask) {
+  const auto result =
+      CrossValidate(EasyDataset(600), models::ModelKind::kLr, 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->fold_f1.size(), 5u);
+  EXPECT_GT(result->mean_f1, 0.8);
+  EXPECT_LT(result->stddev_f1, 0.1);
+  EXPECT_GT(result->mean_train_seconds, 0.0);
+  for (double f1 : result->fold_f1) {
+    EXPECT_GT(f1, 0.7);
+  }
+}
+
+TEST(CrossValidationTest, DeterministicUnderSeed) {
+  const data::Dataset d = EasyDataset(300);
+  const auto a = CrossValidate(d, models::ModelKind::kNaiveBayes, 3, 42);
+  const auto b = CrossValidate(d, models::ModelKind::kNaiveBayes, 3, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->fold_f1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->fold_f1[i], b->fold_f1[i]);
+  }
+}
+
+TEST(CrossValidationTest, RejectsTooFewFoldsOrPositives) {
+  EXPECT_FALSE(CrossValidate(EasyDataset(100), models::ModelKind::kLr, 1)
+                   .ok());
+  // 3 positives cannot fill 5 folds.
+  data::Dataset tiny("tiny");
+  for (int i = 0; i < 3; ++i) {
+    tiny.Add(data::Example{"pos " + std::to_string(i), 1, 1});
+  }
+  for (int i = 0; i < 50; ++i) {
+    tiny.Add(data::Example{"neg " + std::to_string(i), 0, 0});
+  }
+  EXPECT_FALSE(CrossValidate(tiny, models::ModelKind::kLr, 5).ok());
+}
+
+TEST(CrossValidationTest, MeanMatchesFoldAverage) {
+  const auto result =
+      CrossValidate(EasyDataset(300, 0.4), models::ModelKind::kSvm, 3);
+  ASSERT_TRUE(result.ok());
+  double sum = 0.0;
+  for (double f1 : result->fold_f1) sum += f1;
+  EXPECT_NEAR(result->mean_f1, sum / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace semtag::core

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/multiclass.h"
+#include "data/generator.h"
+#include "data/specs.h"
+
+namespace semtag::core {
+namespace {
+
+/// Three-class corpus: each class has its own topic vocabulary.
+std::vector<MultiClassExample> ThreeTopicCorpus(int per_class,
+                                                uint64_t seed) {
+  const auto& lang = data::SharedLanguage();
+  Rng rng(seed);
+  ZipfTable in_topic(data::Language::kTopicSize, 0.4);
+  const int topics[3] = {17, 23, 29};
+  std::vector<MultiClassExample> out;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      std::string text;
+      for (int t = 0; t < 10; ++t) {
+        if (!text.empty()) text.push_back(' ');
+        if (rng.Bernoulli(0.6)) {
+          text += lang.Word(lang.TopicWordId(
+              topics[c], static_cast<int>(in_topic.Sample(&rng))));
+        } else {
+          text += lang.Word(static_cast<int>(rng.Uniform(500)));
+        }
+      }
+      out.push_back(MultiClassExample{std::move(text), c});
+    }
+  }
+  rng.Shuffle(&out);
+  return out;
+}
+
+TEST(MultiClassTaggerTest, LearnsThreeTopics) {
+  auto all = ThreeTopicCorpus(200, 5);
+  const std::vector<MultiClassExample> train(all.begin(),
+                                             all.begin() + 480);
+  const std::vector<MultiClassExample> test(all.begin() + 480, all.end());
+  auto tagger = MultiClassTagger::Train({"A", "B", "C"}, train,
+                                        models::ModelKind::kLr);
+  ASSERT_TRUE(tagger.ok()) << tagger.status().ToString();
+  int correct = 0;
+  for (const auto& e : test) {
+    correct += (*tagger)->Predict(e.text) == e.label;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.85);
+  const auto per_class = (*tagger)->Evaluate(test);
+  ASSERT_EQ(per_class.size(), 3u);
+  for (const auto& pc : per_class) {
+    EXPECT_GT(pc.f1, 0.8) << pc.class_name;
+  }
+}
+
+TEST(MultiClassTaggerTest, ScoresHaveOnePerClass) {
+  auto all = ThreeTopicCorpus(50, 7);
+  auto tagger = MultiClassTagger::Train({"A", "B", "C"}, all,
+                                        models::ModelKind::kNaiveBayes);
+  ASSERT_TRUE(tagger.ok());
+  EXPECT_EQ((*tagger)->Scores("whatever text").size(), 3u);
+  EXPECT_EQ((*tagger)->class_names().size(), 3u);
+}
+
+TEST(MultiClassTaggerTest, RejectsBadInputs) {
+  EXPECT_FALSE(MultiClassTagger::Train({"only"}, {{"t", 0}},
+                                       models::ModelKind::kLr)
+                   .ok());
+  EXPECT_FALSE(
+      MultiClassTagger::Train({"A", "B"}, {}, models::ModelKind::kLr).ok());
+  // Out-of-range label.
+  EXPECT_EQ(MultiClassTagger::Train({"A", "B"}, {{"t", 2}},
+                                    models::ModelKind::kLr)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  // A class with no examples.
+  EXPECT_FALSE(MultiClassTagger::Train({"A", "B"},
+                                       {{"x", 0}, {"y", 0}},
+                                       models::ModelKind::kLr)
+                   .ok());
+}
+
+TEST(MultiClassTaggerTest, MixedThresholdModelsArgmaxComparably) {
+  // SVM scores are margins (threshold 0); the wrapper must still argmax
+  // sensibly across classes.
+  auto all = ThreeTopicCorpus(120, 11);
+  const std::vector<MultiClassExample> train(all.begin(),
+                                             all.begin() + 300);
+  const std::vector<MultiClassExample> test(all.begin() + 300, all.end());
+  auto tagger = MultiClassTagger::Train({"A", "B", "C"}, train,
+                                        models::ModelKind::kSvm);
+  ASSERT_TRUE(tagger.ok());
+  int correct = 0;
+  for (const auto& e : test) {
+    correct += (*tagger)->Predict(e.text) == e.label;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.8);
+}
+
+}  // namespace
+}  // namespace semtag::core

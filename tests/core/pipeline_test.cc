@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "data/generator.h"
+#include "data/specs.h"
+
+namespace semtag::core {
+namespace {
+
+data::Dataset EasyDataset(int n, double ratio = 0.5, uint64_t seed = 15) {
+  data::GeneratorConfig config;
+  config.bg_vocab = 1800;
+  config.signal_topic = 22;
+  config.positive_topics = {23, 24};
+  config.negative_topics = {25, 26};
+  config.signal_strength = 0.35;
+  config.seed = seed;
+  return data::GenerateDataset(data::SharedLanguage(), config, "pipe", n,
+                               ratio);
+}
+
+TaggerOptions ManualSvm() {
+  TaggerOptions options;
+  options.auto_select_model = false;
+  options.model = models::ModelKind::kSvm;
+  return options;
+}
+
+TEST(SemanticTaggerTest, TrainsAndTags) {
+  auto tagger = SemanticTagger::Train(EasyDataset(600), ManualSvm());
+  ASSERT_TRUE(tagger.ok()) << tagger.status().ToString();
+  EXPECT_EQ((*tagger)->model_kind(), models::ModelKind::kSvm);
+  EXPECT_GT((*tagger)->validation().f1, 0.7);
+  // Tag agrees with Score vs threshold.
+  const std::string text = "some words";
+  EXPECT_EQ((*tagger)->Tag(text),
+            (*tagger)->Score(text) >= (*tagger)->threshold());
+}
+
+TEST(SemanticTaggerTest, RejectsTinyOrOneClassData) {
+  data::Dataset tiny("tiny");
+  for (int i = 0; i < 5; ++i) tiny.Add(data::Example{"x", i % 2, i % 2});
+  EXPECT_FALSE(SemanticTagger::Train(tiny, ManualSvm()).ok());
+
+  data::Dataset onesided("one");
+  for (int i = 0; i < 50; ++i) {
+    onesided.Add(data::Example{"x " + std::to_string(i), 1, 1});
+  }
+  EXPECT_FALSE(SemanticTagger::Train(onesided, ManualSvm()).ok());
+}
+
+TEST(SemanticTaggerTest, RejectsBadValidationFraction) {
+  TaggerOptions options = ManualSvm();
+  options.validation_fraction = 0.7;
+  EXPECT_FALSE(SemanticTagger::Train(EasyDataset(100), options).ok());
+}
+
+TEST(SemanticTaggerTest, CalibrationMovesThresholdOnImbalance) {
+  TaggerOptions plain = ManualSvm();
+  plain.model = models::ModelKind::kLr;
+  TaggerOptions calibrated = plain;
+  calibrated.calibrate_threshold = true;
+  data::Dataset d = EasyDataset(1500, 0.08, 33);
+  auto a = SemanticTagger::Train(d, plain);
+  auto b = SemanticTagger::Train(d, calibrated);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ((*a)->threshold(), 0.5);
+  EXPECT_NE((*b)->threshold(), 0.5);
+  // Calibrated F1 on validation is at least as good.
+  EXPECT_GE((*b)->validation().f1, (*a)->validation().f1 - 0.05);
+}
+
+TEST(SemanticTaggerTest, ValidationMetricsArePopulated) {
+  auto tagger = SemanticTagger::Train(EasyDataset(500), ManualSvm());
+  ASSERT_TRUE(tagger.ok());
+  const auto& v = (*tagger)->validation();
+  EXPECT_EQ(v.model, "SVM");
+  EXPECT_GT(v.auc, 0.5);
+  EXPECT_GT(v.train_size, 0);
+  EXPECT_GT(v.test_size, 0);
+  EXPECT_GT(v.train_seconds, 0.0);
+}
+
+TEST(SemanticTaggerTest, AdviceEmptyWhenManual) {
+  auto tagger = SemanticTagger::Train(EasyDataset(300), ManualSvm());
+  ASSERT_TRUE(tagger.ok());
+  EXPECT_TRUE((*tagger)->advice().rationale.empty());
+}
+
+}  // namespace
+}  // namespace semtag::core

@@ -1,0 +1,62 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/taxonomy.h"
+
+namespace semtag::core {
+namespace {
+
+TEST(TaxonomyTest, BoundariesAreInclusive) {
+  EXPECT_EQ(Categorize(100000, 0.25), DatasetCategory::kLargeH);
+  EXPECT_EQ(Categorize(99999, 0.25), DatasetCategory::kSmallH);
+  EXPECT_EQ(Categorize(100000, 0.249), DatasetCategory::kLargeL);
+  EXPECT_EQ(Categorize(500, 0.01), DatasetCategory::kSmallL);
+}
+
+TEST(TaxonomyTest, CustomThresholds) {
+  TaxonomyThresholds t;
+  t.large_records = 8000;
+  t.high_ratio = 0.5;
+  EXPECT_EQ(Categorize(9000, 0.4, t), DatasetCategory::kLargeL);
+  EXPECT_EQ(Categorize(100, 0.6, t), DatasetCategory::kSmallH);
+}
+
+TEST(TaxonomyTest, CategoryNames) {
+  EXPECT_STREQ(CategoryName(DatasetCategory::kSmallL), "Small-L");
+  EXPECT_STREQ(CategoryName(DatasetCategory::kLargeH), "Large-H");
+}
+
+TEST(TaxonomyTest, MatchesTable4) {
+  const std::map<std::string, DatasetCategory> expected = {
+      {"HOTEL", DatasetCategory::kSmallL},
+      {"SENT", DatasetCategory::kSmallL},
+      {"PARA", DatasetCategory::kSmallL},
+      {"REQ", DatasetCategory::kSmallL},
+      {"REF", DatasetCategory::kSmallL},
+      {"QUOTE", DatasetCategory::kSmallL},
+      {"SUPPORT", DatasetCategory::kSmallL},
+      {"AGAINST", DatasetCategory::kSmallL},
+      {"SUGG", DatasetCategory::kSmallH},
+      {"HOMO", DatasetCategory::kSmallH},
+      {"HETER", DatasetCategory::kSmallH},
+      {"TV", DatasetCategory::kSmallH},
+      {"EVAL", DatasetCategory::kSmallH},
+      {"FACT", DatasetCategory::kSmallH},
+      {"ARGUE", DatasetCategory::kSmallH},
+      {"FUNNY", DatasetCategory::kLargeL},
+      {"BOOK", DatasetCategory::kLargeL},
+      {"AMAZON", DatasetCategory::kLargeH},
+      {"YELP", DatasetCategory::kLargeH},
+      {"FUNNY*", DatasetCategory::kLargeH},
+      {"BOOK*", DatasetCategory::kLargeH},
+  };
+  for (const auto& spec : data::AllDatasetSpecs()) {
+    auto it = expected.find(spec.name);
+    ASSERT_NE(it, expected.end()) << spec.name;
+    EXPECT_EQ(CategorizeSpec(spec), it->second) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace semtag::core

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "data/analysis.h"
+
+namespace semtag::data {
+namespace {
+
+TEST(AnalysisTest, InformativeTokensHandleEdgeCases) {
+  Dataset d("edge");
+  d.Add(Example{"signal word here", 1, 1});
+  d.Add(Example{"background word here", 0, 0});
+  // min_records high enough to exclude everything.
+  EXPECT_TRUE(TopInformativeTokens(d, 10, 100).empty());
+  // k = 0 returns nothing.
+  EXPECT_TRUE(TopInformativeTokens(d, 0, 1).empty());
+}
+
+TEST(AnalysisTest, PAndNAreDocumentRates) {
+  Dataset d("rates");
+  // "hot" appears twice in one positive doc: counts once.
+  d.Add(Example{"hot hot day", 1, 1});
+  d.Add(Example{"cold day", 1, 1});
+  d.Add(Example{"cold night", 0, 0});
+  d.Add(Example{"mild night", 0, 0});
+  const auto tokens = TopInformativeTokens(d, 100, 1);
+  for (const auto& t : tokens) {
+    if (t.token == "hot") {
+      EXPECT_DOUBLE_EQ(t.p, 0.5);
+      EXPECT_DOUBLE_EQ(t.n, 0.0);
+    }
+    if (t.token == "cold") {
+      EXPECT_DOUBLE_EQ(t.p, 0.5);
+      EXPECT_DOUBLE_EQ(t.n, 0.5);
+    }
+  }
+}
+
+TEST(AnalysisTest, VocabularyGrowthOnEmptyDataset) {
+  Dataset d("empty");
+  const auto points = VocabularyGrowth(d, {10, 20});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].records, 0);
+  EXPECT_EQ(points[0].distinct_words, 0);
+}
+
+}  // namespace
+}  // namespace semtag::data

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace semtag::data {
+namespace {
+
+Dataset MakeDataset(int n_pos, int n_neg) {
+  Dataset d("test");
+  for (int i = 0; i < n_pos; ++i) {
+    d.Add(Example{"positive text " + std::to_string(i), 1, 1});
+  }
+  for (int i = 0; i < n_neg; ++i) {
+    d.Add(Example{"negative text " + std::to_string(i), 0, 0});
+  }
+  return d;
+}
+
+TEST(DatasetTest, PositiveRatioAndCount) {
+  Dataset d = MakeDataset(3, 7);
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.PositiveCount(), 3);
+  EXPECT_DOUBLE_EQ(d.PositiveRatio(), 0.3);
+}
+
+TEST(DatasetTest, EmptyDatasetRatios) {
+  Dataset d;
+  EXPECT_DOUBLE_EQ(d.PositiveRatio(), 0.0);
+  EXPECT_EQ(d.PositiveCount(), 0);
+}
+
+TEST(DatasetTest, SplitPreservesAllRecords) {
+  Dataset d = MakeDataset(10, 10);
+  auto [train, test] = d.Split(0.8);
+  EXPECT_EQ(train.size(), 16u);
+  EXPECT_EQ(test.size(), 4u);
+  EXPECT_EQ(train.name(), "test/train");
+  EXPECT_EQ(test.name(), "test/test");
+}
+
+TEST(DatasetTest, ShuffleIsDeterministicPermutation) {
+  Dataset d = MakeDataset(5, 5);
+  Dataset d2 = d;
+  Rng r1(9);
+  Rng r2(9);
+  d.Shuffle(&r1);
+  d2.Shuffle(&r2);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d[i].text, d2[i].text);
+  }
+  EXPECT_EQ(d.PositiveCount(), 5);
+}
+
+TEST(DatasetTest, TakeClamps) {
+  Dataset d = MakeDataset(2, 2);
+  EXPECT_EQ(d.Take(3).size(), 3u);
+  EXPECT_EQ(d.Take(100).size(), 4u);
+}
+
+TEST(DatasetTest, StatsCountVocabulary) {
+  Dataset d("stats");
+  d.Add(Example{"alpha beta gamma", 1, 1});
+  d.Add(Example{"alpha beta", 0, 0});
+  const DatasetStats stats = d.ComputeStats();
+  EXPECT_EQ(stats.num_records, 2);
+  EXPECT_EQ(stats.num_positive, 1);
+  EXPECT_EQ(stats.vocab_size, 3);
+  EXPECT_DOUBLE_EQ(stats.avg_tokens_per_record, 2.5);
+}
+
+TEST(DatasetTest, TextsAndLabelsAlign) {
+  Dataset d = MakeDataset(1, 1);
+  const auto texts = d.Texts();
+  const auto labels = d.Labels();
+  ASSERT_EQ(texts.size(), 2u);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_EQ(labels[1], 0);
+}
+
+}  // namespace
+}  // namespace semtag::data

@@ -1,0 +1,84 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "data/io.h"
+
+namespace semtag::data {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(DatasetIoTest, RoundTrip) {
+  Dataset d("roundtrip");
+  d.Add(Example{"plain sentence", 1, 1});
+  d.Add(Example{"with, comma and \"quotes\"", 0, 0});
+  d.Add(Example{"line\nbreak", 1, 1});
+  const std::string path = TempPath("semtag_io_roundtrip.csv");
+  ASSERT_TRUE(SaveDatasetToCsv(d, path).ok());
+  auto loaded = LoadDatasetFromCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].text, d[i].text);
+    EXPECT_EQ((*loaded)[i].label, d[i].label);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, HeaderColumnOrderIsFlexible) {
+  const std::string path = TempPath("semtag_io_order.csv");
+  ASSERT_TRUE(WriteStringToFile(
+                  path, "label,source,text\n1,web,hello world\n0,app,bye\n")
+                  .ok());
+  auto loaded = LoadDatasetFromCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].text, "hello world");
+  EXPECT_EQ((*loaded)[0].label, 1);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingColumnsRejected) {
+  const std::string path = TempPath("semtag_io_badheader.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "body,tag\nhello,1\n").ok());
+  EXPECT_EQ(LoadDatasetFromCsv(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, NonBinaryLabelRejected) {
+  const std::string path = TempPath("semtag_io_badlabel.csv");
+  ASSERT_TRUE(
+      WriteStringToFile(path, "text,label\nhello,positive\n").ok());
+  EXPECT_FALSE(LoadDatasetFromCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, ShortRowRejected) {
+  const std::string path = TempPath("semtag_io_short.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "text,label\nonly-text\n").ok());
+  EXPECT_FALSE(LoadDatasetFromCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadDatasetFromCsv("/nonexistent/x.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(DatasetIoTest, DatasetNameFromFileStem) {
+  const std::string path = TempPath("my_reviews.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "text,label\nhi,1\nbye,0\n").ok());
+  auto loaded = LoadDatasetFromCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name(), "my_reviews");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace semtag::data

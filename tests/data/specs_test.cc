@@ -1,0 +1,116 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/specs.h"
+
+namespace semtag::data {
+namespace {
+
+TEST(SpecsTest, ExactlyTwentyOneDatasets) {
+  EXPECT_EQ(AllDatasetSpecs().size(), 21u);
+}
+
+TEST(SpecsTest, NamesMatchTable3) {
+  const std::set<std::string> expected = {
+      "SUGG",  "HOTEL",   "SENT",    "PARA",   "FUNNY", "HOMO",  "HETER",
+      "TV",    "BOOK",    "EVAL",    "REQ",    "FACT",  "REF",   "QUOTE",
+      "ARGUE", "SUPPORT", "AGAINST", "AMAZON", "YELP",  "FUNNY*", "BOOK*"};
+  std::set<std::string> actual;
+  for (const auto& s : AllDatasetSpecs()) actual.insert(s.name);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(SpecsTest, PaperStatisticsMatchTable3) {
+  const DatasetSpec book = *FindSpec("BOOK");
+  EXPECT_EQ(book.paper_records, 17670000);
+  EXPECT_NEAR(book.paper_positive, 0.032, 1e-9);
+  EXPECT_TRUE(book.dirty);
+
+  const DatasetSpec homo = *FindSpec("HOMO");
+  EXPECT_EQ(homo.paper_records, 2250);
+  EXPECT_NEAR(homo.paper_positive, 0.714, 1e-9);
+  EXPECT_FALSE(homo.dirty);
+}
+
+TEST(SpecsTest, SixLargeDatasets) {
+  int large = 0;
+  for (const auto& s : AllDatasetSpecs()) large += IsLarge(s);
+  EXPECT_EQ(large, 6);
+}
+
+TEST(SpecsTest, TenImbalancedOriginalDatasets) {
+  // The paper: 10 of the 14 minority-positive datasets are < 25%.
+  int low = 0;
+  for (const auto& s : AllDatasetSpecs()) low += !IsHighRatio(s);
+  EXPECT_EQ(low, 10);
+}
+
+TEST(SpecsTest, SuggUsesCompetitionSplit) {
+  EXPECT_NEAR(FindSpec("SUGG")->train_fraction, 0.93, 1e-9);
+  EXPECT_NEAR(FindSpec("HOTEL")->train_fraction, 0.80, 1e-9);
+}
+
+TEST(SpecsTest, DirtyDatasetsAreTheFourRuleLabeled) {
+  std::set<std::string> dirty;
+  for (const auto& s : AllDatasetSpecs()) {
+    if (s.dirty) dirty.insert(s.name);
+  }
+  EXPECT_EQ(dirty, (std::set<std::string>{"FUNNY", "BOOK", "FUNNY*",
+                                          "BOOK*"}));
+  for (const auto& s : AllDatasetSpecs()) {
+    EXPECT_EQ(s.dirty, s.generator.neg_contamination > 0.0) << s.name;
+  }
+}
+
+TEST(SpecsTest, ScaledSizesPreserveOrdering) {
+  // BOOK is the largest dataset, also after scaling.
+  int max_scaled = 0;
+  std::string max_name;
+  for (const auto& s : AllDatasetSpecs()) {
+    if (s.scaled_records > max_scaled) {
+      max_scaled = s.scaled_records;
+      max_name = s.name;
+    }
+  }
+  EXPECT_EQ(max_name, "BOOK");
+  // Every large dataset is scaled bigger than every small dataset.
+  int min_large = 1 << 30;
+  int max_small = 0;
+  for (const auto& s : AllDatasetSpecs()) {
+    if (IsLarge(s)) min_large = std::min(min_large, s.scaled_records);
+    else max_small = std::max(max_small, s.scaled_records);
+  }
+  EXPECT_GT(min_large, max_small);
+}
+
+TEST(SpecsTest, FindSpecUnknownName) {
+  EXPECT_FALSE(FindSpec("NOPE").ok());
+}
+
+TEST(SpecsTest, BuildDatasetHonorsSpec) {
+  const DatasetSpec spec = *FindSpec("HETER");
+  const Dataset d = BuildDataset(spec);
+  EXPECT_EQ(static_cast<int>(d.size()), spec.scaled_records);
+  EXPECT_NEAR(d.PositiveRatio(), spec.paper_positive, 0.01);
+}
+
+TEST(SpecsTest, BuildDatasetPoolScalesUp) {
+  const DatasetSpec spec = *FindSpec("HETER");
+  const Dataset pool = BuildDatasetPool(spec, 1000);
+  EXPECT_EQ(pool.size(), 1000u);
+  EXPECT_NEAR(pool.PositiveRatio(), spec.paper_positive, 0.01);
+}
+
+TEST(SpecsTest, GeneratorTopicsFitVocabularies) {
+  // Construction would CHECK-fail on out-of-range topics; building the
+  // sampler for every spec proves the configs are internally consistent.
+  for (const auto& spec : AllDatasetSpecs()) {
+    SentenceSampler sampler(&SharedLanguage(), spec.generator);
+    Rng rng(1);
+    EXPECT_FALSE(sampler.Sample(1, &rng).empty()) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace semtag::data

@@ -1,0 +1,93 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+
+namespace semtag::data {
+namespace {
+
+Dataset MakeDataset(int n_pos, int n_neg) {
+  Dataset d("split");
+  for (int i = 0; i < n_pos; ++i) {
+    d.Add(Example{"p" + std::to_string(i), 1, 1});
+  }
+  for (int i = 0; i < n_neg; ++i) {
+    d.Add(Example{"n" + std::to_string(i), 0, 0});
+  }
+  return d;
+}
+
+TEST(StratifiedSplitTest, PreservesRatioExactly) {
+  Dataset d = MakeDataset(20, 180);  // 10% positive
+  Rng rng(1);
+  auto [train, test] = StratifiedSplit(d, 0.8, &rng);
+  EXPECT_EQ(train.size() + test.size(), d.size());
+  EXPECT_EQ(train.PositiveCount(), 16);
+  EXPECT_EQ(test.PositiveCount(), 4);
+}
+
+TEST(StratifiedSplitTest, ExtremeImbalanceKeepsTestPositives) {
+  // 8 positives in 500 records: a random split frequently leaves the test
+  // side empty; the stratified one must not.
+  Dataset d = MakeDataset(8, 492);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    auto [train, test] = StratifiedSplit(d, 0.8, &rng);
+    EXPECT_GE(test.PositiveCount(), 1) << "seed " << seed;
+    EXPECT_GE(train.PositiveCount(), 6) << "seed " << seed;
+  }
+}
+
+TEST(StratifiedSplitTest, NoRecordLostOrDuplicated) {
+  Dataset d = MakeDataset(13, 29);
+  Rng rng(3);
+  auto [train, test] = StratifiedSplit(d, 0.7, &rng);
+  std::set<std::string> seen;
+  for (const auto& e : train.examples()) seen.insert(e.text);
+  for (const auto& e : test.examples()) seen.insert(e.text);
+  EXPECT_EQ(seen.size(), d.size());
+}
+
+TEST(StratifiedFoldsTest, FoldsBalancedAndComplete) {
+  Dataset d = MakeDataset(25, 75);
+  Rng rng(5);
+  const auto folds = StratifiedFolds(d, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  size_t total = 0;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.size(), 20u);
+    EXPECT_EQ(fold.PositiveCount(), 5);
+    total += fold.size();
+  }
+  EXPECT_EQ(total, d.size());
+}
+
+TEST(StratifiedFoldsTest, UnevenSizesDifferByAtMostOnePerClass) {
+  Dataset d = MakeDataset(11, 23);  // neither divisible by 3
+  Rng rng(7);
+  const auto folds = StratifiedFolds(d, 3, &rng);
+  int64_t min_pos = 1 << 20, max_pos = 0;
+  for (const auto& fold : folds) {
+    min_pos = std::min(min_pos, fold.PositiveCount());
+    max_pos = std::max(max_pos, fold.PositiveCount());
+  }
+  EXPECT_LE(max_pos - min_pos, 1);
+}
+
+TEST(MergeFoldsExceptTest, ExcludesExactlyTheHoldout) {
+  Dataset d = MakeDataset(10, 20);
+  Rng rng(9);
+  const auto folds = StratifiedFolds(d, 3, &rng);
+  const Dataset merged = MergeFoldsExcept(folds, 1);
+  EXPECT_EQ(merged.size(), d.size() - folds[1].size());
+  std::set<std::string> holdout_texts;
+  for (const auto& e : folds[1].examples()) holdout_texts.insert(e.text);
+  for (const auto& e : merged.examples()) {
+    EXPECT_FALSE(holdout_texts.count(e.text)) << e.text;
+  }
+}
+
+}  // namespace
+}  // namespace semtag::data

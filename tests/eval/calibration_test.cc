@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/calibration.h"
+#include "eval/metrics.h"
+
+namespace semtag::eval {
+namespace {
+
+TEST(CalibrationTest, FindsSeparatingThreshold) {
+  // Positives all score >= 0.6, negatives <= 0.4: some threshold reaches
+  // F1 = 1.
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  const std::vector<double> scores = {0.9, 0.8, 0.6, 0.4, 0.2, 0.1};
+  const auto result = CalibrateMaxF1(labels, scores, 100);
+  EXPECT_DOUBLE_EQ(result.best_f1, 1.0);
+  EXPECT_GT(result.best_threshold, 0.4);
+  EXPECT_LE(result.best_threshold, 0.6);
+}
+
+TEST(CalibrationTest, BeatsNaturalThresholdOnImbalance) {
+  // A model whose scores for positives hover around 0.3 (below the 0.5
+  // natural boundary): argmax F1 is 0, calibrated F1 is high. This is the
+  // appendix's motivation for calibration on imbalanced data.
+  Rng rng(5);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 1000; ++i) {
+    const bool pos = i % 20 == 0;  // 5% positive
+    labels.push_back(pos);
+    scores.push_back(pos ? rng.UniformDouble(0.25, 0.45)
+                         : rng.UniformDouble(0.0, 0.28));
+  }
+  const double argmax_f1 =
+      F1Score(labels, ThresholdScores(scores, 0.5));
+  const auto calibrated = CalibrateMaxF1(labels, scores);
+  EXPECT_LT(argmax_f1, 0.01);
+  EXPECT_GT(calibrated.best_f1, 0.8);
+}
+
+TEST(CalibrationTest, CurveHasRequestedResolution) {
+  const auto result =
+      CalibrateMaxF1({1, 0}, {0.9, 0.1}, /*num_thresholds=*/50);
+  EXPECT_EQ(result.f1_curve.size(), 50u);
+  EXPECT_EQ(result.thresholds.size(), 50u);
+  EXPECT_DOUBLE_EQ(result.thresholds.front(), 0.1);
+  EXPECT_DOUBLE_EQ(result.thresholds.back(), 0.9);
+}
+
+TEST(CalibrationTest, SweepNeverBeatsExhaustive) {
+  // Each curve point must equal the directly computed F1 at that
+  // threshold (property check of the two-pointer sweep).
+  Rng rng(7);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 200; ++i) {
+    labels.push_back(rng.Bernoulli(0.3));
+    scores.push_back(rng.UniformDouble());
+  }
+  const auto result = CalibrateMaxF1(labels, scores, 37);
+  for (size_t i = 0; i < result.thresholds.size(); ++i) {
+    const double direct =
+        F1Score(labels, ThresholdScores(scores, result.thresholds[i]));
+    EXPECT_NEAR(result.f1_curve[i], direct, 1e-12) << "threshold index "
+                                                   << i;
+  }
+}
+
+TEST(CalibrationTest, MoreThresholdsNeverHurt) {
+  Rng rng(9);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 500; ++i) {
+    labels.push_back(rng.Bernoulli(0.1));
+    scores.push_back(rng.Normal(labels.back() ? 0.6 : 0.4, 0.2));
+  }
+  double prev = 0.0;
+  for (int t : {100, 200, 300, 400}) {
+    const double f1 = CalibrateMaxF1(labels, scores, t).best_f1;
+    EXPECT_GE(f1, prev - 0.02) << t;  // monotone up to grid effects
+    prev = f1;
+  }
+}
+
+TEST(CalibrationTest, EmptyInput) {
+  const auto result = CalibrateMaxF1({}, {});
+  EXPECT_DOUBLE_EQ(result.best_f1, 0.0);
+}
+
+}  // namespace
+}  // namespace semtag::eval

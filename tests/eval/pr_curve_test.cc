@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/pr_curve.h"
+
+namespace semtag::eval {
+namespace {
+
+TEST(PrCurveTest, PerfectSeparationHasPrecisionOne) {
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const auto curve = PrecisionRecallCurve(labels, scores);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 1.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision(labels, scores), 1.0);
+}
+
+TEST(PrCurveTest, KnownMixedCase) {
+  // Descending: pos, neg, pos, neg.
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.6};
+  const auto curve = PrecisionRecallCurve(labels, scores);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);     // 1/1
+  EXPECT_DOUBLE_EQ(curve[1].precision, 0.5);     // 1/2
+  EXPECT_DOUBLE_EQ(curve[2].precision, 2.0 / 3); // 2/3
+  EXPECT_DOUBLE_EQ(curve[2].recall, 1.0);
+  // AP = 0.5*1.0 + 0.5*(2/3).
+  EXPECT_NEAR(AveragePrecision(labels, scores), 0.5 + 0.5 * 2.0 / 3,
+              1e-12);
+}
+
+TEST(PrCurveTest, TiedScoresCollapseToOnePoint) {
+  const std::vector<int> labels = {1, 0, 1};
+  const std::vector<double> scores = {0.5, 0.5, 0.5};
+  const auto curve = PrecisionRecallCurve(labels, scores);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 2.0 / 3);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+}
+
+TEST(PrCurveTest, RecallIsNonDecreasing) {
+  Rng rng(4);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 300; ++i) {
+    labels.push_back(rng.Bernoulli(0.3));
+    scores.push_back(rng.Normal(labels.back() * 0.5, 1.0));
+  }
+  const auto curve = PrecisionRecallCurve(labels, scores);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+    EXPECT_LT(curve[i].threshold, curve[i - 1].threshold);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+}
+
+TEST(PrCurveTest, NoPositivesYieldsEmptyCurveAndZeroAp) {
+  EXPECT_TRUE(PrecisionRecallCurve({0, 0}, {0.1, 0.9}).empty());
+  EXPECT_DOUBLE_EQ(AveragePrecision({0, 0}, {0.1, 0.9}), 0.0);
+}
+
+TEST(PrCurveTest, ApOfRandomScoresApproachesBaseRate) {
+  Rng rng(8);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 5000; ++i) {
+    labels.push_back(rng.Bernoulli(0.2));
+    scores.push_back(rng.UniformDouble());  // uninformative
+  }
+  EXPECT_NEAR(AveragePrecision(labels, scores), 0.2, 0.03);
+}
+
+}  // namespace
+}  // namespace semtag::eval

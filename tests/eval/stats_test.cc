@@ -1,0 +1,124 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/stats.h"
+
+namespace semtag::eval {
+namespace {
+
+TEST(MeanStdDevTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCase) {
+  // I_{0.5}(a, a) = 0.5 by symmetry.
+  for (double a : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, a, 0.5), 0.5, 1e-9) << a;
+  }
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.37, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, x), x, 1e-9);
+  }
+}
+
+TEST(StudentTCdfTest, SymmetryAndKnownValues) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-9);
+  // t distribution with df=1 is Cauchy: CDF(1) = 0.75.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-6);
+  // Large df approaches the normal: CDF(1.96, df=1e6) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), 0.975, 1e-3);
+  EXPECT_NEAR(StudentTCdf(-1.0, 3.0), 1.0 - StudentTCdf(1.0, 3.0), 1e-9);
+}
+
+TEST(WelchTTestTest, ClearlySeparatedSamples) {
+  const std::vector<double> a = {0.90, 0.91, 0.92};
+  const std::vector<double> b = {0.10, 0.11, 0.12};
+  const TTestResult r = WelchTTest(a, b);
+  EXPECT_GT(r.t, 10.0);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_EQ(r.Stars(), "***");
+}
+
+TEST(WelchTTestTest, OverlappingSamplesNotSignificant) {
+  const std::vector<double> a = {0.50, 0.58, 0.44};
+  const std::vector<double> b = {0.52, 0.47, 0.55};
+  const TTestResult r = WelchTTest(a, b);
+  EXPECT_GT(r.p_value, 0.05);
+  EXPECT_EQ(r.Stars(), "n.s.");
+}
+
+TEST(WelchTTestTest, IdenticalConstantSamples) {
+  const std::vector<double> a = {0.5, 0.5, 0.5};
+  const TTestResult r = WelchTTest(a, a);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(WelchTTestTest, MatchesReferenceImplementation) {
+  // Hand-computed Welch statistic for
+  // a = [14.1, 13.5, 15.2, 14.8], b = [12.2, 13.1, 12.8]:
+  // t = 1.7 / sqrt(0.5667/4 + 0.21/3) = 3.695, df = 4.90, p ~ 0.0145.
+  const std::vector<double> a = {14.1, 13.5, 15.2, 14.8};
+  const std::vector<double> b = {12.2, 13.1, 12.8};
+  const TTestResult r = WelchTTest(a, b);
+  EXPECT_NEAR(r.t, 3.695, 0.01);
+  EXPECT_NEAR(r.degrees_of_freedom, 4.90, 0.05);
+  EXPECT_NEAR(r.p_value, 0.0145, 0.005);
+  EXPECT_EQ(r.Stars(), "*");
+}
+
+TEST(BootstrapTest, IntervalCoversPointEstimate) {
+  std::vector<int> labels, preds;
+  for (int i = 0; i < 200; ++i) {
+    labels.push_back(i % 3 == 0);
+    preds.push_back(i % 3 == 0 ? (i % 9 != 0) : (i % 17 == 0));
+  }
+  const double point = F1Score(labels, preds);
+  const auto ci = BootstrapF1Interval(labels, preds, 500, 0.05, 3);
+  EXPECT_LE(ci.low, point);
+  EXPECT_GE(ci.high, point);
+  EXPECT_LT(ci.low, ci.high);
+}
+
+TEST(BootstrapTest, DeterministicUnderSeed) {
+  std::vector<int> labels = {1, 0, 1, 0, 1, 1, 0, 0, 1, 0};
+  std::vector<int> preds = {1, 0, 0, 0, 1, 1, 1, 0, 1, 0};
+  const auto a = BootstrapF1Interval(labels, preds, 200, 0.1, 7);
+  const auto b = BootstrapF1Interval(labels, preds, 200, 0.1, 7);
+  EXPECT_DOUBLE_EQ(a.low, b.low);
+  EXPECT_DOUBLE_EQ(a.high, b.high);
+}
+
+TEST(BootstrapTest, PerfectPredictionsGiveDegenerateInterval) {
+  std::vector<int> labels = {1, 0, 1, 0, 1};
+  const auto ci = BootstrapF1Interval(labels, labels, 200, 0.05, 1);
+  EXPECT_DOUBLE_EQ(ci.low, 1.0);
+  EXPECT_DOUBLE_EQ(ci.high, 1.0);
+}
+
+TEST(StarsTest, Buckets) {
+  TTestResult r;
+  r.p_value = 0.04;
+  EXPECT_EQ(r.Stars(), "*");
+  r.p_value = 0.004;
+  EXPECT_EQ(r.Stars(), "**");
+  r.p_value = 0.0004;
+  EXPECT_EQ(r.Stars(), "***");
+  r.p_value = 0.5;
+  EXPECT_EQ(r.Stars(), "n.s.");
+}
+
+}  // namespace
+}  // namespace semtag::eval

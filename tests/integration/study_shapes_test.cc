@@ -1,0 +1,126 @@
+// Integration tests asserting the paper's headline *shapes* end-to-end on
+// small purpose-built datasets (the full-scale shapes are exercised by the
+// bench suite; these tests keep the mechanisms from regressing).
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "data/generator.h"
+#include "data/sampling.h"
+#include "data/specs.h"
+#include "eval/calibration.h"
+#include "eval/metrics.h"
+#include "models/factory.h"
+
+namespace semtag {
+namespace {
+
+data::GeneratorConfig BaseConfig(uint64_t seed) {
+  data::GeneratorConfig config;
+  config.bg_vocab = 2000;
+  config.signal_topic = 16;
+  config.positive_topics = {17, 18};
+  config.negative_topics = {19, 20, 21};
+  config.seed = seed;
+  return config;
+}
+
+core::ExperimentResult RunKind(const data::Dataset& d,
+                               models::ModelKind kind) {
+  data::Dataset copy = d;
+  Rng rng(3);
+  copy.Shuffle(&rng);
+  auto [train, test] = copy.Split(0.8);
+  return core::TrainAndEvaluate(train, test, kind);
+}
+
+TEST(StudyShapesTest, ConjunctionSignalFavorsDeepModels) {
+  // Purely compositional class: BoW linear models are near chance while
+  // the pretrained transformer learns it (the Small-dataset BERT edge).
+  auto config = BaseConfig(901);
+  config.signal_strength = 0.0;
+  config.conjunction = 1.0;
+  const data::Dataset d = data::GenerateDataset(
+      data::SharedLanguage(), config, "conj", 1200, 0.5);
+  const double svm = RunKind(d, models::ModelKind::kSvm).f1;
+  const double bert = RunKind(d, models::ModelKind::kBert).f1;
+  EXPECT_LT(svm, 0.72);
+  EXPECT_GT(bert, 0.80);
+  EXPECT_GT(bert, svm + 0.15);
+}
+
+TEST(StudyShapesTest, LabelNoiseDepressesEveryModel) {
+  auto clean_config = BaseConfig(902);
+  clean_config.signal_strength = 0.30;
+  auto dirty_config = clean_config;
+  dirty_config.neg_contamination = 0.25;
+  const data::Dataset clean = data::GenerateDataset(
+      data::SharedLanguage(), clean_config, "clean", 1500, 0.3);
+  const data::Dataset dirty = data::GenerateDataset(
+      data::SharedLanguage(), dirty_config, "dirty", 1500, 0.3);
+  for (auto kind : {models::ModelKind::kLr, models::ModelKind::kSvm}) {
+    const double f_clean = RunKind(clean, kind).f1;
+    const double f_dirty = RunKind(dirty, kind).f1;
+    EXPECT_GT(f_clean, f_dirty + 0.08)
+        << models::ModelKindName(kind);
+  }
+}
+
+TEST(StudyShapesTest, HigherRatioHelpsF1) {
+  auto config = BaseConfig(903);
+  config.signal_strength = 0.18;
+  const data::Dataset pool = data::GenerateDataset(
+      data::SharedLanguage(), config, "pool", 6000, 0.5);
+  Rng rng(9);
+  double prev = -1.0;
+  int violations = 0;
+  for (double ratio : {0.1, 0.3, 0.5}) {
+    const data::Dataset sampled =
+        data::SampleWithRatio(pool, 2500, ratio, &rng);
+    const double f1 = RunKind(sampled, models::ModelKind::kLr).f1;
+    if (f1 < prev - 0.02) ++violations;
+    prev = f1;
+  }
+  EXPECT_EQ(violations, 0) << "F1 must rise with the positive ratio";
+}
+
+TEST(StudyShapesTest, CalibrationNeverHurtsAndRescuesImbalance) {
+  auto config = BaseConfig(904);
+  config.signal_strength = 0.22;
+  const data::Dataset d = data::GenerateDataset(
+      data::SharedLanguage(), config, "imb", 3000, 0.05);
+  const auto result = RunKind(d, models::ModelKind::kLr);
+  EXPECT_GE(result.calibrated_f1, result.f1 - 1e-9);
+  EXPECT_GT(result.calibrated_f1, 0.25);
+}
+
+TEST(StudyShapesTest, LargeDirtyVsLargeCleanContrast) {
+  // The Large-L vs Large-H contrast on the real study specs (reduced
+  // record counts for test speed): BOOK (dirty, imbalanced, entity-heavy)
+  // must stay hard for both families while AMAZON (clean, balanced) is
+  // easy - the paper's central Figure 11 corner cases.
+  const data::Dataset book =
+      data::BuildDatasetPool(*data::FindSpec("BOOK"), 8000);
+  const data::Dataset amazon =
+      data::BuildDatasetPool(*data::FindSpec("AMAZON"), 8000);
+  for (auto kind : {models::ModelKind::kSvm, models::ModelKind::kBert}) {
+    const double f_book = RunKind(book, kind).f1;
+    const double f_amazon = RunKind(amazon, kind).f1;
+    EXPECT_LT(f_book, 0.45) << models::ModelKindName(kind);
+    EXPECT_GT(f_amazon, 0.80) << models::ModelKindName(kind);
+  }
+}
+
+TEST(StudyShapesTest, TrainingTimeAsymmetryIsOrdersOfMagnitude) {
+  auto config = BaseConfig(906);
+  config.signal_strength = 0.3;
+  const data::Dataset d = data::GenerateDataset(
+      data::SharedLanguage(), config, "time", 1200, 0.5);
+  const auto lr = RunKind(d, models::ModelKind::kLr);
+  const auto bert = RunKind(d, models::ModelKind::kBert);
+  EXPECT_GT(bert.train_seconds, lr.train_seconds * 10)
+      << "deep training must be at least an order of magnitude slower";
+}
+
+}  // namespace
+}  // namespace semtag

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "models/factory.h"
+
+namespace semtag::models {
+namespace {
+
+// Transformer kinds are excluded here: creating them pulls (and possibly
+// trains) the shared pretrained backbone, which the bench suite owns.
+const ModelKind kCheapKinds[] = {ModelKind::kLr, ModelKind::kSvm,
+                                 ModelKind::kCnn, ModelKind::kLstm,
+                                 ModelKind::kNaiveBayes,
+                                 ModelKind::kXgboost};
+
+TEST(FactoryTest, NamesRoundTrip) {
+  for (ModelKind kind :
+       {ModelKind::kLr, ModelKind::kSvm, ModelKind::kCnn, ModelKind::kLstm,
+        ModelKind::kBert, ModelKind::kNaiveBayes, ModelKind::kXgboost,
+        ModelKind::kAlbert, ModelKind::kRoberta, ModelKind::kLrEmbedding,
+        ModelKind::kSvmEmbedding}) {
+    const auto parsed = ModelKindFromName(ModelKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << ModelKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ModelKindFromName("GPT").ok());
+}
+
+TEST(FactoryTest, IsDeepMatchesPaperClassification) {
+  EXPECT_FALSE(IsDeep(ModelKind::kLr));
+  EXPECT_FALSE(IsDeep(ModelKind::kSvm));
+  EXPECT_FALSE(IsDeep(ModelKind::kNaiveBayes));
+  EXPECT_FALSE(IsDeep(ModelKind::kXgboost));
+  EXPECT_FALSE(IsDeep(ModelKind::kLrEmbedding));
+  EXPECT_TRUE(IsDeep(ModelKind::kCnn));
+  EXPECT_TRUE(IsDeep(ModelKind::kLstm));
+  EXPECT_TRUE(IsDeep(ModelKind::kBert));
+  EXPECT_TRUE(IsDeep(ModelKind::kAlbert));
+  EXPECT_TRUE(IsDeep(ModelKind::kRoberta));
+}
+
+TEST(FactoryTest, CreatesCheapModels) {
+  for (ModelKind kind : kCheapKinds) {
+    auto model = CreateModel(kind);
+    ASSERT_NE(model, nullptr) << ModelKindName(kind);
+    EXPECT_EQ(model->name(), ModelKindName(kind));
+    EXPECT_EQ(model->is_deep(), IsDeep(kind));
+  }
+}
+
+TEST(FactoryTest, RepresentativeModelsAreThePaperFive) {
+  const auto& models = RepresentativeModels();
+  ASSERT_EQ(models.size(), 5u);
+  EXPECT_EQ(models[0], ModelKind::kLr);
+  EXPECT_EQ(models[1], ModelKind::kSvm);
+  EXPECT_EQ(models[2], ModelKind::kCnn);
+  EXPECT_EQ(models[3], ModelKind::kLstm);
+  EXPECT_EQ(models[4], ModelKind::kBert);
+}
+
+TEST(FactoryTest, SeededCreationProducesDistinctInstances) {
+  auto a = CreateModelSeeded(ModelKind::kLr, 1);
+  auto b = CreateModelSeeded(ModelKind::kLr, 2);
+  EXPECT_NE(a.get(), b.get());
+}
+
+}  // namespace
+}  // namespace semtag::models

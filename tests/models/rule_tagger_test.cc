@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/specs.h"
+#include "eval/metrics.h"
+#include "models/simple/rule_tagger.h"
+
+namespace semtag::models {
+namespace {
+
+TEST(RuleTaggerTest, ManualKeywordsTag) {
+  RuleTagger tagger;
+  tagger.AddKeyword("tip");
+  tagger.AddKeyword("recommend");
+  EXPECT_EQ(tagger.Predict("i recommend the soup"), 1);
+  EXPECT_EQ(tagger.Predict("the soup was fine"), 0);
+  EXPECT_GT(tagger.Score("tip tip tip"), tagger.Score("one tip here yes"));
+}
+
+TEST(RuleTaggerTest, EmptyTextScoresZero) {
+  RuleTagger tagger;
+  tagger.AddKeyword("x");
+  EXPECT_DOUBLE_EQ(tagger.Score(""), 0.0);
+  EXPECT_EQ(tagger.Predict(""), 0);
+}
+
+TEST(RuleTaggerTest, InducesKeywordsFromData) {
+  data::GeneratorConfig config;
+  config.bg_vocab = 2000;
+  config.signal_topic = 16;
+  config.positive_topics = {17, 18};
+  config.negative_topics = {19, 20};
+  config.signal_strength = 0.35;
+  config.signal_leak = 0.1;
+  config.seed = 71;
+  data::Dataset d = data::GenerateDataset(data::SharedLanguage(), config,
+                                          "rules", 800, 0.5);
+  auto [train, test] = d.Split(0.8);
+  RuleTagger tagger;
+  ASSERT_TRUE(tagger.Train(train).ok());
+  EXPECT_FALSE(tagger.keywords().empty());
+  // Rules work, but clearly below learned models on the same task
+  // (Section 1's point): decent but not great F1.
+  const double f1 =
+      eval::F1Score(test.Labels(), tagger.PredictAll(test.Texts()));
+  EXPECT_GT(f1, 0.5);
+}
+
+TEST(RuleTaggerTest, FailsWhenNoTokenQualifies) {
+  data::Dataset flat("flat");
+  // Identical text in both classes: no informative token exists.
+  for (int i = 0; i < 40; ++i) {
+    flat.Add(data::Example{"same words every time", i % 2, i % 2});
+  }
+  RuleTagger tagger;
+  EXPECT_EQ(tagger.Train(flat).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RuleTaggerTest, ManualKeywordsSurviveTraining) {
+  data::Dataset tiny("tiny");
+  for (int i = 0; i < 20; ++i) {
+    tiny.Add(data::Example{i % 2 ? "alpha beta" : "gamma delta", i % 2,
+                           i % 2});
+  }
+  RuleTagger tagger;
+  tagger.AddKeyword("customword");
+  ASSERT_TRUE(tagger.Train(tiny).ok());
+  EXPECT_TRUE(tagger.keywords().count("customword"));
+  EXPECT_TRUE(tagger.keywords().count("alpha"));
+}
+
+}  // namespace
+}  // namespace semtag::models

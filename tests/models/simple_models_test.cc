@@ -1,0 +1,165 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/specs.h"
+#include "eval/metrics.h"
+#include "models/simple/gbdt.h"
+#include "models/simple/linear_svm.h"
+#include "models/simple/logistic_regression.h"
+#include "models/simple/naive_bayes.h"
+
+namespace semtag::models {
+namespace {
+
+/// A strongly separable synthetic task all simple models must crack.
+data::Dataset EasyDataset(int n, double ratio = 0.5, uint64_t seed = 55) {
+  data::GeneratorConfig config;
+  config.bg_vocab = 1800;
+  config.signal_topic = 22;
+  config.positive_topics = {23, 24};
+  config.negative_topics = {25, 26};
+  config.signal_strength = 0.35;
+  config.signal_leak = 0.1;
+  config.seed = seed;
+  return data::GenerateDataset(data::SharedLanguage(), config, "easy", n,
+                               ratio);
+}
+
+struct TrainedEval {
+  double f1;
+  double auc;
+};
+
+TrainedEval TrainEval(TaggingModel* model, int n = 800) {
+  data::Dataset d = EasyDataset(n);
+  auto [train, test] = d.Split(0.8);
+  const Status st = model->Train(train);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  const auto scores = model->ScoreAll(test.Texts());
+  const auto preds =
+      eval::ThresholdScores(scores, model->DecisionThreshold());
+  return {eval::F1Score(test.Labels(), preds),
+          eval::Auc(test.Labels(), scores)};
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableTask) {
+  LogisticRegression model;
+  const auto r = TrainEval(&model);
+  EXPECT_GT(r.f1, 0.80);
+  EXPECT_GT(r.auc, 0.90);
+  EXPECT_GT(model.train_seconds(), 0.0);
+  EXPECT_GT(model.num_features(), 100u);
+}
+
+TEST(LogisticRegressionTest, ScoresAreProbabilities) {
+  LogisticRegression model;
+  TrainEval(&model, 400);
+  const data::Dataset probe = EasyDataset(50, 0.5, 77);
+  for (const auto& e : probe.examples()) {
+    const double s = model.Score(e.text);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(model.DecisionThreshold(), 0.5);
+}
+
+TEST(LogisticRegressionTest, RejectsRetrainAndEmpty) {
+  LogisticRegression model;
+  EXPECT_EQ(model.Train(data::Dataset()).code(),
+            StatusCode::kInvalidArgument);
+  TrainEval(&model, 200);
+  EXPECT_EQ(model.Train(EasyDataset(100)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LinearSvmTest, LearnsSeparableTask) {
+  LinearSvm model;
+  const auto r = TrainEval(&model);
+  EXPECT_GT(r.f1, 0.80);
+  EXPECT_GT(r.auc, 0.90);
+}
+
+TEST(LinearSvmTest, MarginThresholdIsZero) {
+  LinearSvm model;
+  EXPECT_DOUBLE_EQ(model.DecisionThreshold(), 0.0);
+}
+
+TEST(LinearSvmTest, DualVariablesRespectBox) {
+  // Indirectly: training twice on contradictory labels still converges to
+  // finite weights (alphas clipped to [0, C]).
+  data::Dataset noisy("noisy");
+  for (int i = 0; i < 100; ++i) {
+    noisy.Add(data::Example{"same text every time", i % 2, i % 2});
+  }
+  LinearSvm model;
+  ASSERT_TRUE(model.Train(noisy).ok());
+  EXPECT_TRUE(std::isfinite(model.Score("same text every time")));
+}
+
+TEST(NaiveBayesTest, LearnsSeparableTask) {
+  NaiveBayes model;
+  const auto r = TrainEval(&model);
+  EXPECT_GT(r.f1, 0.75);
+  EXPECT_GT(r.auc, 0.85);
+}
+
+TEST(NaiveBayesTest, RequiresBothClasses) {
+  data::Dataset onesided("one");
+  for (int i = 0; i < 20; ++i) {
+    onesided.Add(data::Example{"text " + std::to_string(i), 1, 1});
+  }
+  NaiveBayes model;
+  EXPECT_EQ(model.Train(onesided).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GbdtTest, LearnsSeparableTask) {
+  Gbdt model;
+  const auto r = TrainEval(&model);
+  EXPECT_GT(r.f1, 0.70);
+  EXPECT_GT(r.auc, 0.85);
+  EXPECT_GT(model.num_trees_built(), 5);
+}
+
+TEST(GbdtTest, CapsOversizedTrainingSets) {
+  GbdtOptions options;
+  options.max_train_examples = 100;
+  options.num_trees = 5;
+  Gbdt model(options);
+  ASSERT_TRUE(model.Train(EasyDataset(400)).ok());
+  // Capped run still produces a usable model.
+  EXPECT_TRUE(std::isfinite(model.Score("anything")));
+}
+
+TEST(GbdtTest, RequiresBothClasses) {
+  data::Dataset onesided("one");
+  for (int i = 0; i < 20; ++i) {
+    onesided.Add(data::Example{"text " + std::to_string(i), 0, 0});
+  }
+  Gbdt model;
+  EXPECT_EQ(model.Train(onesided).code(), StatusCode::kInvalidArgument);
+}
+
+// Property sweep: simple models behave sensibly across label ratios.
+class SimpleModelRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimpleModelRatioTest, LrF1DegradesGracefullyWithImbalance) {
+  const double ratio = GetParam();
+  data::Dataset d = EasyDataset(1000, ratio, 60);
+  auto [train, test] = d.Split(0.8);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Train(train).ok());
+  const auto preds = model.PredictAll(test.Texts());
+  const double f1 = eval::F1Score(test.Labels(), preds);
+  // Strongly separable: at 50% we expect near-perfect; even at 10% the
+  // model must beat the all-positive baseline F1 = 2r/(1+r).
+  const double baseline = 2 * ratio / (1 + ratio);
+  EXPECT_GT(f1, baseline) << "ratio " << ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, SimpleModelRatioTest,
+                         ::testing::Values(0.1, 0.3, 0.5));
+
+}  // namespace
+}  // namespace semtag::models

@@ -1,0 +1,77 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/init.h"
+#include "nn/serialize.h"
+
+namespace semtag::nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SerializeTest, RoundTrip) {
+  Rng rng(1);
+  la::Matrix a(3, 4);
+  la::Matrix b(1, 7);
+  la::XavierUniform(&a, &rng);
+  la::XavierUniform(&b, &rng);
+  std::vector<Variable> params = {Variable(a, true), Variable(b, true)};
+  const std::string path = TempPath("semtag_ckpt_roundtrip.bin");
+  ASSERT_TRUE(SaveCheckpoint(path, params).ok());
+
+  std::vector<Variable> loaded = {Variable(la::Matrix(3, 4), true),
+                                  Variable(la::Matrix(1, 7), true)};
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded).ok());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(loaded[0].value().data()[i], a.data()[i]);
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_FLOAT_EQ(loaded[1].value().data()[i], b.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchIsRejected) {
+  std::vector<Variable> params = {Variable(la::Matrix(2, 2), true)};
+  const std::string path = TempPath("semtag_ckpt_shape.bin");
+  ASSERT_TRUE(SaveCheckpoint(path, params).ok());
+  std::vector<Variable> wrong = {Variable(la::Matrix(2, 3), true)};
+  EXPECT_FALSE(LoadCheckpoint(path, &wrong).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CountMismatchIsRejected) {
+  std::vector<Variable> params = {Variable(la::Matrix(2, 2), true)};
+  const std::string path = TempPath("semtag_ckpt_count.bin");
+  ASSERT_TRUE(SaveCheckpoint(path, params).ok());
+  std::vector<Variable> wrong = {Variable(la::Matrix(2, 2), true),
+                                 Variable(la::Matrix(2, 2), true)};
+  EXPECT_FALSE(LoadCheckpoint(path, &wrong).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  std::vector<Variable> params = {Variable(la::Matrix(1, 1), true)};
+  const Status st =
+      LoadCheckpoint("/nonexistent/dir/ckpt.bin", &params);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, CorruptHeaderIsRejected) {
+  const std::string path = TempPath("semtag_ckpt_corrupt.bin");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  std::vector<Variable> params = {Variable(la::Matrix(1, 1), true)};
+  EXPECT_FALSE(LoadCheckpoint(path, &params).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace semtag::nn

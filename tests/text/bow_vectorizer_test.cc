@@ -1,0 +1,97 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "text/bow_vectorizer.h"
+
+namespace semtag::text {
+namespace {
+
+BowOptions PlainCounts() {
+  BowOptions opts;
+  opts.use_idf = false;
+  opts.l2_normalize = false;
+  opts.min_doc_freq = 1;
+  return opts;
+}
+
+TEST(BowVectorizerTest, CountsTokens) {
+  BowVectorizer vec(PlainCounts());
+  vec.Fit({"the cat", "the dog"});
+  const auto x = vec.Transform("the the cat");
+  // Feature "the" has count 2, "cat" count 1; bigrams "the_the"/"the_cat"
+  // only exist if seen at fit time ("the_cat" was).
+  double total = 0.0;
+  for (const auto& e : x.entries()) total += e.value;
+  EXPECT_DOUBLE_EQ(total, 2.0 + 1.0 + 1.0);
+}
+
+TEST(BowVectorizerTest, UnseenTokensIgnored) {
+  BowVectorizer vec(PlainCounts());
+  vec.Fit({"alpha beta"});
+  const auto x = vec.Transform("gamma delta");
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(BowVectorizerTest, MinDocFreqPrunes) {
+  BowOptions opts = PlainCounts();
+  opts.min_doc_freq = 2;
+  BowVectorizer vec(opts);
+  vec.Fit({"common rare1", "common rare2"});
+  EXPECT_EQ(vec.num_features(), 1u);  // only "common" survives
+}
+
+TEST(BowVectorizerTest, IdfWeightsRareTokensHigher) {
+  BowOptions opts;
+  opts.min_doc_freq = 1;
+  opts.use_idf = true;
+  opts.l2_normalize = false;
+  opts.max_ngram = 1;
+  BowVectorizer vec(opts);
+  // "common" in 4/4 docs, "rare" in 1/4.
+  vec.Fit({"common rare", "common", "common", "common"});
+  const int32_t common_id = vec.vocabulary().Lookup("common");
+  const int32_t rare_id = vec.vocabulary().Lookup("rare");
+  ASSERT_NE(common_id, kUnknownTokenId);
+  ASSERT_NE(rare_id, kUnknownTokenId);
+  EXPECT_GT(vec.IdfOf(rare_id), vec.IdfOf(common_id));
+  // idf(t) = log(n/df) + 1.
+  EXPECT_NEAR(vec.IdfOf(common_id), std::log(4.0 / 4.0) + 1.0, 1e-5);
+  EXPECT_NEAR(vec.IdfOf(rare_id), std::log(4.0 / 1.0) + 1.0, 1e-5);
+}
+
+TEST(BowVectorizerTest, L2NormalizedOutput) {
+  BowOptions opts;
+  opts.min_doc_freq = 1;
+  BowVectorizer vec(opts);
+  vec.Fit({"a b c", "a b", "c d"});
+  const auto x = vec.Transform("a b c d");
+  EXPECT_NEAR(x.Norm(), 1.0f, 1e-5);
+}
+
+TEST(BowVectorizerTest, TransformAllShapes) {
+  BowVectorizer vec(PlainCounts());
+  vec.Fit({"x y", "y z"});
+  const auto m = vec.TransformAll({"x", "y", "unseen"});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), vec.num_features());
+  EXPECT_EQ(m.Row(2).nnz(), 0u);
+}
+
+TEST(BowVectorizerTest, MaxFeaturesCaps) {
+  BowOptions opts = PlainCounts();
+  opts.max_features = 3;
+  BowVectorizer vec(opts);
+  vec.Fit({"a b c d e f g h"});
+  EXPECT_EQ(vec.num_features(), 3u);
+}
+
+TEST(BowVectorizerTest, BigramsCaptureWordOrder) {
+  BowVectorizer vec(PlainCounts());
+  vec.Fit({"not good", "good"});
+  const int32_t bigram = vec.vocabulary().Lookup("not_good");
+  EXPECT_NE(bigram, kUnknownTokenId);
+}
+
+}  // namespace
+}  // namespace semtag::text

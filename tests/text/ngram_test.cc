@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include "text/ngram.h"
+
+namespace semtag::text {
+namespace {
+
+TEST(NgramTest, UnigramsOnly) {
+  EXPECT_EQ(ExtractNgrams({"a", "b", "c"}, 1, 1),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(NgramTest, UnigramsAndBigrams) {
+  EXPECT_EQ(ExtractNgrams({"try", "the", "cakes"}, 1, 2),
+            (std::vector<std::string>{"try", "the", "cakes", "try_the",
+                                      "the_cakes"}));
+}
+
+TEST(NgramTest, TrigramsJoinAllWords) {
+  const auto grams = ExtractNgrams({"a", "b", "c", "d"}, 3, 3);
+  EXPECT_EQ(grams, (std::vector<std::string>{"a_b_c", "b_c_d"}));
+}
+
+TEST(NgramTest, ShortInputYieldsNoHigherGrams) {
+  EXPECT_EQ(ExtractNgrams({"solo"}, 1, 2),
+            (std::vector<std::string>{"solo"}));
+  EXPECT_TRUE(ExtractNgrams({}, 1, 2).empty());
+}
+
+TEST(NgramTest, CountsMatchFormula) {
+  // n tokens yield n unigrams + (n-1) bigrams.
+  std::vector<std::string> tokens(10, "w");
+  EXPECT_EQ(ExtractNgrams(tokens, 1, 2).size(), 10u + 9u);
+}
+
+}  // namespace
+}  // namespace semtag::text

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "text/sequence_encoder.h"
+
+namespace semtag::text {
+namespace {
+
+SequenceEncoder MakeEncoder(int max_len, bool add_cls) {
+  SequenceEncoderOptions opts;
+  opts.max_len = max_len;
+  opts.add_cls = add_cls;
+  opts.min_doc_freq = 1;
+  SequenceEncoder enc(opts);
+  enc.Fit({"the cat sat", "the dog ran"});
+  return enc;
+}
+
+TEST(SequenceEncoderTest, PadsToMaxLen) {
+  auto enc = MakeEncoder(8, false);
+  const auto ids = enc.Encode("the cat");
+  ASSERT_EQ(ids.size(), 8u);
+  EXPECT_NE(ids[0], kPadId);
+  EXPECT_NE(ids[1], kPadId);
+  for (size_t i = 2; i < 8; ++i) EXPECT_EQ(ids[i], kPadId);
+}
+
+TEST(SequenceEncoderTest, TruncatesLongInput) {
+  auto enc = MakeEncoder(3, false);
+  const auto ids = enc.Encode("the cat sat the dog ran");
+  EXPECT_EQ(ids.size(), 3u);
+  for (int32_t id : ids) EXPECT_NE(id, kPadId);
+}
+
+TEST(SequenceEncoderTest, ClsLeadsWhenEnabled) {
+  auto enc = MakeEncoder(5, true);
+  const auto ids = enc.Encode("cat");
+  EXPECT_EQ(ids[0], kClsId);
+  EXPECT_GE(ids[1], kNumSpecialTokens);
+}
+
+TEST(SequenceEncoderTest, UnknownWordsMapToUnk) {
+  auto enc = MakeEncoder(4, false);
+  const auto ids = enc.Encode("zebra cat");
+  EXPECT_EQ(ids[0], kUnkId);
+  EXPECT_GE(ids[1], kNumSpecialTokens);
+}
+
+TEST(SequenceEncoderTest, VocabSizeIncludesSpecials) {
+  auto enc = MakeEncoder(4, false);
+  // 5 distinct words ("the" is shared) + 4 special ids.
+  EXPECT_EQ(enc.vocab_size(), 5 + kNumSpecialTokens);
+}
+
+TEST(SequenceEncoderTest, WordIdsAreStable) {
+  auto enc = MakeEncoder(4, false);
+  const auto a = enc.Encode("cat dog");
+  const auto b = enc.Encode("cat dog");
+  EXPECT_EQ(a, b);
+}
+
+TEST(SequenceEncoderTest, SetVocabularyInstallsExternalVocab) {
+  Vocabulary vocab;
+  vocab.Add("hello", 3);
+  SequenceEncoderOptions opts;
+  opts.max_len = 3;
+  SequenceEncoder enc(opts);
+  enc.SetVocabulary(std::move(vocab));
+  const auto ids = enc.Encode("hello stranger");
+  EXPECT_EQ(ids[0], kNumSpecialTokens + 0);
+  EXPECT_EQ(ids[1], kUnkId);
+}
+
+}  // namespace
+}  // namespace semtag::text

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "text/vocabulary.h"
+
+namespace semtag::text {
+namespace {
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary v;
+  const int32_t a = v.Add("hello", 10);
+  const int32_t b = v.Add("world", 5);
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_EQ(v.Lookup("hello"), a);
+  EXPECT_EQ(v.Lookup("world"), b);
+  EXPECT_EQ(v.Lookup("missing"), kUnknownTokenId);
+  EXPECT_EQ(v.TokenOf(a), "hello");
+  EXPECT_EQ(v.DocFreqOf(b), 5);
+}
+
+TEST(VocabularyBuilderTest, DocumentFrequencyCountsOncePerDoc) {
+  VocabularyBuilder builder;
+  builder.AddDocument({"a", "a", "a", "b"});
+  builder.AddDocument({"a", "c"});
+  Vocabulary v = builder.Build(/*min_count=*/1);
+  // "a" appears in 2 docs, "b"/"c" in one each.
+  EXPECT_EQ(v.DocFreqOf(v.Lookup("a")), 2);
+  EXPECT_EQ(v.DocFreqOf(v.Lookup("b")), 1);
+}
+
+TEST(VocabularyBuilderTest, MinCountPrunes) {
+  VocabularyBuilder builder;
+  builder.AddDocument({"common", "rare"});
+  builder.AddDocument({"common"});
+  Vocabulary v = builder.Build(/*min_count=*/2);
+  EXPECT_EQ(v.size(), 1);
+  EXPECT_NE(v.Lookup("common"), kUnknownTokenId);
+  EXPECT_EQ(v.Lookup("rare"), kUnknownTokenId);
+}
+
+TEST(VocabularyBuilderTest, MaxSizeKeepsMostFrequent) {
+  VocabularyBuilder builder;
+  for (int i = 0; i < 3; ++i) builder.AddDocument({"top"});
+  for (int i = 0; i < 2; ++i) builder.AddDocument({"mid"});
+  builder.AddDocument({"low"});
+  Vocabulary v = builder.Build(1, /*max_size=*/2);
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_NE(v.Lookup("top"), kUnknownTokenId);
+  EXPECT_NE(v.Lookup("mid"), kUnknownTokenId);
+  EXPECT_EQ(v.Lookup("low"), kUnknownTokenId);
+}
+
+TEST(VocabularyBuilderTest, IdsAreFrequencyRanked) {
+  VocabularyBuilder builder;
+  for (int i = 0; i < 5; ++i) builder.AddDocument({"most"});
+  for (int i = 0; i < 3; ++i) builder.AddDocument({"second"});
+  builder.AddDocument({"third"});
+  Vocabulary v = builder.Build(1);
+  EXPECT_EQ(v.Lookup("most"), 0);
+  EXPECT_EQ(v.Lookup("second"), 1);
+  EXPECT_EQ(v.Lookup("third"), 2);
+}
+
+TEST(VocabularyBuilderTest, DeterministicTieBreakIsAlphabetical) {
+  VocabularyBuilder builder;
+  builder.AddDocument({"zebra", "apple"});
+  Vocabulary v = builder.Build(1);
+  EXPECT_EQ(v.Lookup("apple"), 0);
+  EXPECT_EQ(v.Lookup("zebra"), 1);
+}
+
+TEST(VocabularyBuilderTest, DistinctTokensGrows) {
+  VocabularyBuilder builder;
+  builder.AddDocument({"a", "b"});
+  EXPECT_EQ(builder.DistinctTokens(), 2u);
+  builder.AddDocument({"b", "c", "d"});
+  EXPECT_EQ(builder.DistinctTokens(), 4u);
+}
+
+}  // namespace
+}  // namespace semtag::text

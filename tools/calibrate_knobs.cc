@@ -1,0 +1,58 @@
+// Developer diagnostic: sweeps generator knobs on a prototype dataset and
+// prints SVM vs BERT F1, used to calibrate the per-dataset configurations
+// in data/specs.cc against the paper's Figure 11 values.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "core/experiment.h"
+#include "data/generator.h"
+#include "data/specs.h"
+
+namespace semtag {
+namespace {
+
+int Main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  // args: n ratio strength leak purity topic_prob [entity [contam [conj]]]
+  data::GeneratorConfig config;
+  config.bg_vocab = 2000;
+  config.signal_topic = 16;
+  config.positive_topics = {17, 18};
+  config.negative_topics = {19, 20, 21};
+  config.seed = 4242;
+  int n = 1500;
+  double ratio = 0.054;
+  if (argc > 1) n = std::atoi(argv[1]);
+  if (argc > 2) ratio = std::atof(argv[2]);
+  if (argc > 3) config.signal_strength = std::atof(argv[3]);
+  if (argc > 4) config.signal_leak = std::atof(argv[4]);
+  if (argc > 5) config.topic_purity = std::atof(argv[5]);
+  if (argc > 6) config.topic_prob = std::atof(argv[6]);
+  if (argc > 7) config.entity_signal = std::atof(argv[7]);
+  if (argc > 8) config.neg_contamination = std::atof(argv[8]);
+  if (argc > 9) config.conjunction = std::atof(argv[9]);
+  if (argc > 10) config.entity_rate = std::atof(argv[10]);
+  if (argc > 11) config.entity_pool_size = std::atoi(argv[11]);
+
+  data::Dataset dataset = data::GenerateDataset(
+      data::SharedLanguage(), config, "proto", n, ratio);
+  Rng rng(1);
+  dataset.Shuffle(&rng);
+  auto [train, test] = dataset.Split(0.8);
+  for (auto kind : {models::ModelKind::kLr, models::ModelKind::kSvm,
+                    models::ModelKind::kBert}) {
+    const auto r = core::TrainAndEvaluate(train, test, kind);
+    std::printf("%-5s f1=%.3f calib_f1=%.3f auc=%.3f prec=%.2f rec=%.2f "
+                "(%.1fs)\n",
+                r.model.c_str(), r.f1, r.calibrated_f1, r.auc, r.precision,
+                r.recall, r.train_seconds);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -1,0 +1,73 @@
+// Developer diagnostic (not part of the bench suite): inspects the quality
+// of the pretrained MiniBert backbone - MLM loss trajectory and whether
+// token embeddings cluster by topic, the mechanism behind BERT's
+// small-data advantage.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "data/generator.h"
+#include "data/specs.h"
+#include "la/matrix.h"
+#include "models/deep/bert_cache.h"
+
+namespace semtag {
+namespace {
+
+double Cosine(const float* a, const float* b, size_t n) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-12);
+}
+
+int Main() {
+  SetLogLevel(LogLevel::kInfo);
+  const auto& backbone =
+      models::GetPretrainedBackbone(models::BertVariant::kBert);
+  const auto params = backbone.Parameters();
+  const la::Matrix& table = params[0].value();  // token embedding table
+  const auto& lang = data::SharedLanguage();
+  const auto& vocab = backbone.encoder().word_vocabulary();
+  const size_t d = table.cols();
+
+  // Average cosine similarity of same-topic vs different-topic word pairs.
+  Rng rng(5);
+  double same = 0, diff = 0;
+  int n_same = 0, n_diff = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const int t1 = static_cast<int>(rng.Uniform(60));
+    const int k1 = static_cast<int>(rng.Uniform(32));
+    const int k2 = static_cast<int>(rng.Uniform(32));
+    const int t2 = static_cast<int>(rng.Uniform(60));
+    const int32_t id1 =
+        vocab.Lookup(lang.Word(lang.TopicWordId(t1, k1)));
+    const int32_t id_same =
+        vocab.Lookup(lang.Word(lang.TopicWordId(t1, k2)));
+    const int32_t id_diff =
+        vocab.Lookup(lang.Word(lang.TopicWordId(t2, k1)));
+    if (id1 < 0) continue;
+    const float* e1 = table.Row(text::kNumSpecialTokens + id1);
+    if (id_same >= 0 && id_same != id1) {
+      same += Cosine(e1, table.Row(text::kNumSpecialTokens + id_same), d);
+      ++n_same;
+    }
+    if (id_diff >= 0 && t2 != t1) {
+      diff += Cosine(e1, table.Row(text::kNumSpecialTokens + id_diff), d);
+      ++n_diff;
+    }
+  }
+  std::printf("embedding topic coherence: same-topic cos %.3f (n=%d), "
+              "cross-topic cos %.3f (n=%d)\n",
+              same / n_same, n_same, diff / n_diff, n_diff);
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }

@@ -1,0 +1,67 @@
+// Developer utility: prints the full dataset x model F1 grid from the
+// persistent result cache (no training; cells missing from the cache show
+// "-"). Handy for eyeballing the state of the experiment grid without
+// re-running any bench.
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "data/specs.h"
+#include "models/deep/bert_cache.h"
+
+namespace semtag {
+namespace {
+
+int Main() {
+  SetLogLevel(LogLevel::kWarning);
+  const std::string path = models::CacheDir() + "/results.csv";
+  auto content = ReadFileToString(path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "no result cache at %s\n", path.c_str());
+    return 1;
+  }
+  auto rows = ParseCsv(*content);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "corrupt cache: %s\n",
+                 rows.status().ToString().c_str());
+    return 1;
+  }
+  // key -> (dataset, model, f1); keep only canonical per-spec runs (their
+  // keys contain no '|' prefix beyond name|model|seed0|hash).
+  std::map<std::string, std::map<std::string, double>> grid;
+  std::set<std::string> models;
+  for (const auto& row : *rows) {
+    if (row.size() != 12) continue;
+    const std::string& key = row[0];
+    if (key.find("|s0|") == std::string::npos) continue;  // seed-0 only
+    if (StartsWith(key, "fig")) continue;  // skip sweep entries
+    grid[row[1]][row[2]] = std::atof(row[3].c_str());
+    models.insert(row[2]);
+  }
+  std::string header = StrFormat("%-9s", "Dataset");
+  for (const auto& m : models) header += StrFormat(" %8s", m.c_str());
+  std::printf("%s\n", header.c_str());
+  for (const auto& spec : data::AllDatasetSpecs()) {
+    std::string line = StrFormat("%-9s", spec.name.c_str());
+    auto it = grid.find(spec.name);
+    for (const auto& m : models) {
+      if (it != grid.end() && it->second.count(m)) {
+        line += StrFormat(" %8.2f", it->second.at(m));
+      } else {
+        line += StrFormat(" %8s", "-");
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("\n(%zu cached results in %s)\n", rows->size(), path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag
+
+int main() { return semtag::Main(); }
