@@ -1,0 +1,169 @@
+// GEMM kernel micro-benchmarks: the blocked/unrolled parallel kernels in
+// la/matrix.cc against a frozen copy of the pre-threading seed kernel, so
+// the perf trajectory is tracked in-repo from the first optimization PR
+// onward. Run from the repo root:
+//
+//   ./build/bench/gemm_kernels
+//
+// writes google-benchmark JSON to BENCH_gemm.json (override with the
+// usual --benchmark_out=...). Thread counts sweep 1/2/4/8 regardless of
+// the host's core count — oversubscribed points are reported as-is, they
+// tell you what threading costs when the hardware can't back it.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "la/matrix.h"
+
+namespace semtag::la {
+namespace {
+
+/// Verbatim copy of the seed MatMul (ikj rank-1 updates with a zero-skip
+/// branch, single thread) — the baseline every speedup claim is against.
+void MatMulNaiveSeed(const Matrix& a, const Matrix& b, Matrix* out) {
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  *out = Matrix(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out->Row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(kk);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Normal());
+  }
+  return m;
+}
+
+void SetFlops(benchmark::State& state, size_t n) {
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * static_cast<double>(n) *
+          static_cast<double>(n) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_MatMul_seed_naive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, n, 1);
+  const Matrix b = RandomMatrix(n, n, 2);
+  Matrix out;
+  for (auto _ : state) {
+    MatMulNaiveSeed(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetFlops(state, n);
+}
+BENCHMARK(BM_MatMul_seed_naive)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SetGlobalPoolThreads(static_cast<int>(state.range(1)));
+  const Matrix a = RandomMatrix(n, n, 1);
+  const Matrix b = RandomMatrix(n, n, 2);
+  Matrix out;
+  for (auto _ : state) {
+    MatMul(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetFlops(state, n);
+}
+BENCHMARK(BM_MatMul)
+    ->ArgsProduct({{32, 64, 128, 256, 512}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MatMulTransA(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SetGlobalPoolThreads(static_cast<int>(state.range(1)));
+  const Matrix at = RandomMatrix(n, n, 3);
+  const Matrix b = RandomMatrix(n, n, 4);
+  Matrix out;
+  for (auto _ : state) {
+    MatMulTransA(at, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetFlops(state, n);
+}
+BENCHMARK(BM_MatMulTransA)
+    ->ArgsProduct({{256}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SetGlobalPoolThreads(static_cast<int>(state.range(1)));
+  const Matrix a = RandomMatrix(n, n, 5);
+  const Matrix bt = RandomMatrix(n, n, 6);
+  Matrix out;
+  for (auto _ : state) {
+    MatMulTransB(a, bt, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetFlops(state, n);
+}
+BENCHMARK(BM_MatMulTransB)
+    ->ArgsProduct({{256}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Transpose(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, n, 7);
+  for (auto _ : state) {
+    Matrix t = a.Transposed();
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_Dot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomMatrix(1, n, 8);
+  const Matrix b = RandomMatrix(1, n, 9);
+  for (auto _ : state) {
+    float d = Dot(a.Row(0), b.Row(0), n);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_Dot)->Arg(1024)->Arg(65536);
+
+}  // namespace
+}  // namespace semtag::la
+
+int main(int argc, char** argv) {
+  // Default the JSON dump to BENCH_gemm.json so a bare run from the repo
+  // root refreshes the tracked results file; any explicit
+  // --benchmark_out=... wins.
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  char default_out[] = "--benchmark_out=BENCH_gemm.json";
+  char default_fmt[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(default_out);
+    args.push_back(default_fmt);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,11 +1,22 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 
 namespace semtag {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Serializes sink writes: parallel cross-validation folds and experiment
+/// cells log concurrently, and interleaved vfprintf calls would shred
+/// lines. A function-local static avoids any init-order hazard with logs
+/// emitted during static initialization.
+std::mutex& SinkMutex() {
+  static std::mutex& mu = *new std::mutex();
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,14 +33,17 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace internal {
 
 void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
                 ...) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(SinkMutex());
   std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), file, line);
   va_list args;
   va_start(args, fmt);

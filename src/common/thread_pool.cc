@@ -1,0 +1,194 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace semtag {
+
+namespace {
+
+/// Set for the duration of WorkerLoop so InPool() can answer without
+/// touching the pool's mutex.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 1) return;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::InPool() const { return t_worker_pool == this; }
+
+void ThreadPool::RunTask(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No workers: degrade to synchronous execution. Exceptions still go
+    // through the stored-error path so Submit/Wait semantics match the
+    // threaded pool exactly.
+    RunTask(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_worker_pool = this;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // stop_ set and queue drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    RunTask(task);
+    lock.lock();
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+  t_worker_pool = nullptr;
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  // Leaked on purpose: worker threads may outlive static destructors in
+  // exotic exit paths; an intentionally immortal pool avoids shutdown
+  // races entirely.
+  static std::unique_ptr<ThreadPool>& slot = *new std::unique_ptr<ThreadPool>();
+  return slot;
+}
+
+}  // namespace
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("SEMTAG_NUM_THREADS"); env != nullptr) {
+    const int n = std::atoi(env);
+    if (n >= 1) return std::min(n, 256);
+    SEMTAG_LOG(kWarning, "ignoring invalid SEMTAG_NUM_THREADS=%s", env);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  auto& slot = GlobalPoolSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(DefaultThreadCount());
+  return *slot;
+}
+
+void SetGlobalPoolThreads(int threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  auto& slot = GlobalPoolSlot();
+  slot.reset();  // join the old workers before spawning replacements
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t range = end - begin;
+  if (grain == 0) grain = 1;
+  ThreadPool& pool = GlobalPool();
+  const size_t max_by_grain = (range + grain - 1) / grain;
+  const size_t chunks =
+      std::min<size_t>(static_cast<size_t>(std::max(pool.threads(), 1)),
+                       max_by_grain);
+  if (chunks <= 1 || pool.InPool()) {
+    fn(begin, end);
+    return;
+  }
+
+  // chunk c covers [begin + c*base + min(c, extra), +base (+1 if c<extra)).
+  const size_t base = range / chunks;
+  const size_t extra = range % chunks;
+  auto chunk_bounds = [&](size_t c) {
+    const size_t lo = begin + c * base + std::min(c, extra);
+    const size_t hi = lo + base + (c < extra ? 1 : 0);
+    return std::pair<size_t, size_t>(lo, hi);
+  };
+
+  // Per-call completion state, so concurrent ParallelFor calls (and
+  // unrelated Submit/Wait users) never observe each other's errors.
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining = chunks - 1;
+
+  for (size_t c = 1; c < chunks; ++c) {
+    const auto [lo, hi] = chunk_bounds(c);
+    pool.Submit([state, lo, hi, &fn] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->remaining == 0) state->cv.notify_all();
+    });
+  }
+
+  // The caller works on chunk 0 instead of idling; its exception is held
+  // until the submitted chunks finish (they reference `fn` and `state` on
+  // this stack frame, so we must not unwind past them).
+  std::exception_ptr inline_error;
+  try {
+    const auto [lo, hi] = chunk_bounds(0);
+    fn(lo, hi);
+  } catch (...) {
+    inline_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->remaining == 0; });
+  std::exception_ptr worker_error = state->error;
+  lock.unlock();
+  if (inline_error) std::rethrow_exception(inline_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+}
+
+}  // namespace semtag

@@ -1,6 +1,7 @@
 #include "core/cross_validation.h"
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/split.h"
 #include "eval/metrics.h"
 #include "eval/stats.h"
@@ -17,19 +18,38 @@ Result<CrossValidationResult> CrossValidate(const data::Dataset& dataset,
     return Status::InvalidArgument(
         "each class needs at least one record per fold");
   }
+  // The fold assignment is drawn sequentially up front; only the
+  // train-evaluate work fans out. Each fold seeds its model from
+  // seed + fold index, so every fold consumes a private RNG stream and the
+  // metrics are bit-identical whether folds run on one thread or many.
   Rng rng(seed);
   const auto fold_sets = data::StratifiedFolds(dataset, folds, &rng);
-  CrossValidationResult result;
-  for (int f = 0; f < folds; ++f) {
-    const data::Dataset train = data::MergeFoldsExcept(fold_sets, f);
-    const data::Dataset& test = fold_sets[static_cast<size_t>(f)];
-    auto model = models::CreateModelSeeded(kind, seed + f);
-    SEMTAG_RETURN_NOT_OK(model->Train(train));
-    const double f1 =
-        eval::F1Score(test.Labels(), model->PredictAll(test.Texts()));
-    result.fold_f1.push_back(f1);
-    result.mean_train_seconds += model->train_seconds();
+  const size_t nfolds = static_cast<size_t>(folds);
+  std::vector<double> fold_f1(nfolds, 0.0);
+  std::vector<double> fold_seconds(nfolds, 0.0);
+  std::vector<Status> fold_status(nfolds, Status::OK());
+  ParallelFor(0, nfolds, 1, [&](size_t lo, size_t hi) {
+    for (size_t f = lo; f < hi; ++f) {
+      const data::Dataset train =
+          data::MergeFoldsExcept(fold_sets, static_cast<int>(f));
+      const data::Dataset& test = fold_sets[f];
+      auto model = models::CreateModelSeeded(kind, seed + f);
+      const Status st = model->Train(train);
+      if (!st.ok()) {
+        fold_status[f] = st;
+        continue;
+      }
+      fold_f1[f] =
+          eval::F1Score(test.Labels(), model->PredictAll(test.Texts()));
+      fold_seconds[f] = model->train_seconds();
+    }
+  });
+  for (const Status& st : fold_status) {
+    if (!st.ok()) return st;
   }
+  CrossValidationResult result;
+  result.fold_f1 = std::move(fold_f1);
+  for (double s : fold_seconds) result.mean_train_seconds += s;
   result.mean_f1 = eval::Mean(result.fold_f1);
   result.stddev_f1 = eval::StdDev(result.fold_f1);
   result.mean_train_seconds /= folds;

@@ -7,6 +7,7 @@
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "eval/calibration.h"
 #include "eval/metrics.h"
 #include "models/deep/bert_cache.h"
@@ -148,6 +149,7 @@ void ExperimentRunner::LoadCacheFile() {
 bool ExperimentRunner::Lookup(const std::string& key,
                               ExperimentResult* result) const {
   if (!use_cache_) return false;
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) return false;
   *result = it->second;
@@ -157,6 +159,7 @@ bool ExperimentRunner::Lookup(const std::string& key,
 void ExperimentRunner::Store(const std::string& key,
                              const ExperimentResult& result) {
   if (!use_cache_) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
   cache_[key] = result;
   // Rewrite the whole file: results are small and this keeps it valid CSV
   // even if two binaries interleave (last writer wins per run).
@@ -211,10 +214,15 @@ ExperimentResult ExperimentRunner::RunOn(const std::string& cache_key,
 
 std::vector<ExperimentResult> ExperimentRunner::RunAll(
     models::ModelKind kind) {
-  std::vector<ExperimentResult> results;
-  for (const auto& spec : data::AllDatasetSpecs()) {
-    results.push_back(Run(spec, kind));
-  }
+  const auto specs = data::AllDatasetSpecs();
+  std::vector<ExperimentResult> results(specs.size());
+  // Each cell is fully self-contained (dataset generation, split,
+  // seeded model), so cells parallelise across the pool; results land at
+  // their spec's index and the returned order matches the sequential path
+  // exactly.
+  ParallelFor(0, specs.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) results[i] = Run(specs[i], kind);
+  });
   return results;
 }
 

@@ -2,6 +2,7 @@
 #define SEMTAG_CORE_EXPERIMENT_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,7 +55,10 @@ class ExperimentRunner {
                          const data::Dataset& test, models::ModelKind kind,
                          uint64_t seed = 0);
 
-  /// Convenience: Run() over all 21 specs for one model.
+  /// Convenience: Run() over all 21 specs for one model. Cells run in
+  /// parallel on the global pool (each cell is independent: its own
+  /// generated dataset, split, and seeded model), so the wall-clock of a
+  /// grid sweep approaches that of its slowest cell.
   std::vector<ExperimentResult> RunAll(models::ModelKind kind);
 
  private:
@@ -64,6 +68,9 @@ class ExperimentRunner {
 
   bool use_cache_;
   std::string cache_path_;
+  /// Guards cache_ and the cache-file rewrite; Run() may be called from
+  /// several pool workers at once.
+  mutable std::mutex cache_mu_;
   std::map<std::string, ExperimentResult> cache_;
 };
 

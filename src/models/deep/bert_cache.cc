@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <mutex>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -96,8 +97,16 @@ std::string CacheDir() {
 }
 
 const MiniBertBackbone& GetPretrainedBackbone(BertVariant variant) {
+  // Parallel cross-validation folds and experiment cells all reach for the
+  // shared backbones concurrently; the mutex makes the checkpoint
+  // load-or-pretrain-and-save step happen exactly once per variant (and
+  // keeps two threads from pretraining the same variant or racing on the
+  // checkpoint file). Returned references are safe to share: fine-tuning
+  // clones the backbone and never mutates the cached copy.
+  static std::mutex& mu = *new std::mutex();
   static std::map<BertVariant, std::unique_ptr<MiniBertBackbone>>& cache =
       *new std::map<BertVariant, std::unique_ptr<MiniBertBackbone>>();
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(variant);
   if (it != cache.end()) return *it->second;
 

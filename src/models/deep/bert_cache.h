@@ -23,7 +23,9 @@ std::string CacheDir();
 /// Returns the shared pretrained backbone for a variant. The first call in
 /// a process loads the checkpoint from CacheDir(); if absent, it generates
 /// the synthetic wiki corpus, pretrains with MLM (tens of seconds), and
-/// saves the checkpoint. Thread-compatible (benches are single-threaded).
+/// saves the checkpoint. Thread-safe: an internal mutex serializes the
+/// load-or-pretrain step (parallel CV folds and experiment cells hit this
+/// concurrently), and the returned reference is immutable thereafter.
 ///
 /// BERT/ALBERT/ROBERTA differ exactly as the real models do at this scale:
 /// ALBERT shares encoder parameters across layers; ROBERTA pretrains longer

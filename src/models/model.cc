@@ -1,20 +1,38 @@
 #include "models/model.h"
 
+#include "common/thread_pool.h"
+
 namespace semtag::models {
+
+namespace {
+
+/// Texts per inference chunk. Scoring one text costs anywhere from a few
+/// hash lookups (NB/LR) to a full transformer forward pass (BERT), so the
+/// grain is sized for the cheap end; deep models just see more chunks.
+constexpr size_t kScoreGrain = 16;
+
+}  // namespace
 
 std::vector<double> TaggingModel::ScoreAll(
     const std::vector<std::string>& texts) const {
-  std::vector<double> out;
-  out.reserve(texts.size());
-  for (const auto& t : texts) out.push_back(Score(t));
+  // Score() is const and draws no randomness at inference time (dropout is
+  // disabled), so texts score independently on the global pool. Each index
+  // writes only its own slot; results match the sequential loop exactly.
+  std::vector<double> out(texts.size());
+  ParallelFor(0, texts.size(), kScoreGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) out[i] = Score(texts[i]);
+  });
   return out;
 }
 
 std::vector<int> TaggingModel::PredictAll(
     const std::vector<std::string>& texts) const {
-  std::vector<int> out;
-  out.reserve(texts.size());
-  for (const auto& t : texts) out.push_back(Predict(t));
+  const std::vector<double> scores = ScoreAll(texts);
+  const double threshold = DecisionThreshold();
+  std::vector<int> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out[i] = scores[i] >= threshold ? 1 : 0;
+  }
   return out;
 }
 

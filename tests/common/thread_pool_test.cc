@@ -1,0 +1,143 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace semtag {
+namespace {
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) pool.Submit([&count] { count.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 0);  // no workers: Submit degrades to inline
+  int count = 0;  // no atomic needed: everything runs on this thread
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, WaitPropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is consumed: the pool is reusable afterwards.
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&count] { count.fetch_add(1); });
+    // no Wait(): the destructor must still run everything
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+class ParallelForTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetGlobalPoolThreads(4); }
+  void TearDown() override { SetGlobalPoolThreads(DefaultThreadCount()); }
+};
+
+TEST_F(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(0, hits.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelForTest, RespectsGrain) {
+  // 10 indices at grain 8 -> at most 2 chunks, both >= 2 indices.
+  std::vector<std::pair<size_t, size_t>> chunks;
+  std::mutex mu;
+  ParallelFor(0, 10, 8, [&](size_t lo, size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_LE(chunks.size(), 2u);
+  size_t total = 0;
+  for (const auto& [lo, hi] : chunks) total += hi - lo;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST_F(ParallelForTest, EmptyRangeDoesNothing) {
+  bool called = false;
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_F(ParallelForTest, NestedCallsRunInlineOnWorkers) {
+  // An inner ParallelFor issued from a pool worker must not deadlock; it
+  // degrades to one inline call covering the whole inner range.
+  std::atomic<int> inner_total{0};
+  std::atomic<int> inner_calls{0};
+  ParallelFor(0, 8, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      ParallelFor(0, 16, 1, [&](size_t ilo, size_t ihi) {
+        inner_calls.fetch_add(1);
+        inner_total.fetch_add(static_cast<int>(ihi - ilo));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+  // Chunk 0 of the outer loop runs on the caller (not a pool worker), so
+  // its inner loops may fan out; all other outer indices run on workers
+  // and must produce exactly one inline inner call each.
+  EXPECT_GE(inner_calls.load(), 8);
+}
+
+TEST_F(ParallelForTest, PropagatesExceptionFromWorkerChunk) {
+  EXPECT_THROW(
+      ParallelFor(0, 100, 1,
+                  [](size_t lo, size_t) {
+                    if (lo != 0) throw std::runtime_error("chunk failed");
+                  }),
+      std::runtime_error);
+}
+
+TEST_F(ParallelForTest, PropagatesExceptionFromInlineChunk) {
+  EXPECT_THROW(
+      ParallelFor(0, 100, 1,
+                  [](size_t lo, size_t) {
+                    if (lo == 0) throw std::runtime_error("chunk failed");
+                  }),
+      std::runtime_error);
+}
+
+TEST(DefaultThreadCountTest, IsPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace semtag
