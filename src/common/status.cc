@@ -1,6 +1,24 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace semtag {
+
+namespace internal {
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "ValueOrDie on error result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+void DieOnOkResultError() {
+  std::fprintf(stderr, "Result constructed from an OK status\n");
+  std::abort();
+}
+
+}  // namespace internal
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {
@@ -20,6 +38,10 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

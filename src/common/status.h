@@ -1,7 +1,6 @@
 #ifndef SEMTAG_COMMON_STATUS_H_
 #define SEMTAG_COMMON_STATUS_H_
 
-#include <cassert>
 #include <string>
 #include <utility>
 #include <variant>
@@ -19,6 +18,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -54,6 +55,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,6 +74,13 @@ class Status {
   std::string message_;
 };
 
+namespace internal {
+/// Prints the status and aborts. Out of line so Result stays header-only
+/// without pulling in <cstdio>.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+[[noreturn]] void DieOnOkResultError();
+}  // namespace internal
+
 /// Result<T> holds either a value or an error Status.
 ///
 /// Usage:
@@ -78,9 +92,10 @@ class Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  /// Implicit construction from an error status. Must not be OK.
+  /// Implicit construction from an error status. Must not be OK (this is a
+  /// programmer error and aborts in every build mode).
   Result(Status status) : repr_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(repr_).ok());
+    if (std::get<Status>(repr_).ok()) internal::DieOnOkResultError();
   }
 
   bool ok() const { return std::holds_alternative<T>(repr_); }
@@ -90,13 +105,15 @@ class Result {
     return ok() ? Status::OK() : std::get<Status>(repr_);
   }
 
-  /// Returns the value. Aborts if this result holds an error.
+  /// Returns the value. Aborts (with the error's message, in every build
+  /// mode — the library compiles with exceptions off, so falling through
+  /// to std::get on the wrong alternative would be UB under NDEBUG).
   const T& ValueOrDie() const& {
-    assert(ok());
+    if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(repr_));
     return std::get<T>(repr_);
   }
   T ValueOrDie() && {
-    assert(ok());
+    if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(repr_));
     return std::move(std::get<T>(repr_));
   }
   const T& operator*() const& { return ValueOrDie(); }

@@ -1,7 +1,10 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace semtag {
 
@@ -75,6 +78,36 @@ std::string WithCommas(int64_t n) {
     out.push_back(digits[i]);
   }
   return neg ? "-" + out : out;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = StripAsciiWhitespace(s);
+  if (s.empty() || s.size() >= 64) return false;
+  char buf[64];
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + s.size() || errno == ERANGE || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  s = StripAsciiWhitespace(s);
+  if (s.empty() || s.size() >= 32) return false;
+  char buf[32];
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(buf, &end, 10);
+  if (end != buf + s.size() || errno == ERANGE) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
 }
 
 std::string HumanSeconds(double seconds) {

@@ -31,6 +31,12 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// Formats a count with thousands separators, e.g. 4750000 -> "4,750,000".
 std::string WithCommas(int64_t n);
 
+/// Validated numeric parsing (unlike atof/atol, rejects trailing garbage,
+/// empty input, overflow, and — for doubles — non-finite values). On
+/// failure returns false and leaves *out untouched.
+bool ParseDouble(std::string_view s, double* out);
+bool ParseInt64(std::string_view s, int64_t* out);
+
 /// Formats seconds compactly: "0.42s", "13.0s", "4.2m", "1.3h".
 std::string HumanSeconds(double seconds);
 

@@ -5,6 +5,10 @@
 #include <memory>
 #include <utility>
 
+#ifdef __unix__
+#include <pthread.h>
+#endif
+
 #include "common/logging.h"
 
 namespace semtag {
@@ -97,6 +101,24 @@ std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
   static std::unique_ptr<ThreadPool>& slot = *new std::unique_ptr<ThreadPool>();
   return slot;
 }
+
+#ifdef __unix__
+// fork(2) copies only the calling thread: in the child the pool's workers
+// are gone, so any ParallelFor there would enqueue work nobody drains.
+// Abandon the pre-fork pool in the child (its threads died with the
+// parent's address space; joining or destroying it would hang or throw)
+// and let the next GlobalPool() call build a fresh one. The prepare/parent
+// handlers hold g_pool_mu across the fork so the child never inherits it
+// mid-swap.
+void AtForkPrepare() { g_pool_mu.lock(); }
+void AtForkParent() { g_pool_mu.unlock(); }
+void AtForkChild() {
+  (void)GlobalPoolSlot().release();  // leak: its threads no longer exist
+  g_pool_mu.unlock();
+}
+[[maybe_unused]] const int g_atfork_registered =
+    pthread_atfork(AtForkPrepare, AtForkParent, AtForkChild);
+#endif
 
 }  // namespace
 

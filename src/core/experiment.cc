@@ -1,10 +1,13 @@
 #include "core/experiment.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/csv.h"
+#include "common/fault.h"
+#include "common/file_io.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -56,7 +59,112 @@ uint64_t HashGeneratorConfig(const data::GeneratorConfig& g) {
   return h;
 }
 
+bool CellOutcomeFromName(std::string_view name, CellOutcome* out) {
+  if (name == "ok") *out = CellOutcome::kOk;
+  else if (name == "cached") *out = CellOutcome::kCached;
+  else if (name == "retried") *out = CellOutcome::kRetried;
+  else if (name == "timed_out") *out = CellOutcome::kTimedOut;
+  else if (name == "failed") *out = CellOutcome::kFailed;
+  else return false;
+  return true;
+}
+
+/// Footer line prefix of the result cache: "#crc32,<8 hex digits>\n" over
+/// every byte that precedes it.
+constexpr char kCrcFooterPrefix[] = "#crc32,";
+
+struct ParsedCache {
+  std::map<std::string, ExperimentResult> entries;
+  int malformed = 0;
+  bool crc_mismatch = false;
+};
+
+/// Parses result-cache content. Verifies the CRC footer when present
+/// (legacy footer-less files are accepted whole); skips '#'-comment rows
+/// and counts rows that fail strict field validation instead of importing
+/// garbage numbers into the study.
+ParsedCache ParseCacheContent(const std::string& content) {
+  ParsedCache parsed;
+  std::string payload = content;
+  const size_t footer = payload.rfind(kCrcFooterPrefix);
+  if (footer != std::string::npos &&
+      (footer == 0 || payload[footer - 1] == '\n')) {
+    const std::string footer_line = payload.substr(footer);
+    payload.resize(footer);
+    uint32_t stored = 0;
+    if (sscanf(footer_line.c_str(), "#crc32,%8" SCNx32, &stored) != 1 ||
+        stored != Crc32(payload)) {
+      parsed.crc_mismatch = true;
+      return parsed;
+    }
+  }
+  auto rows = ParseCsv(payload);
+  if (!rows.ok()) {
+    parsed.malformed = 1;
+    return parsed;
+  }
+  for (const auto& row : *rows) {
+    if (!row.empty() && !row[0].empty() && row[0][0] == '#') continue;
+    // 12 columns = legacy pre-outcome rows; 13 = current format.
+    if (row.size() != 12 && row.size() != 13) {
+      ++parsed.malformed;
+      continue;
+    }
+    ExperimentResult r;
+    const std::string& key = row[0];
+    r.dataset = row[1];
+    r.model = row[2];
+    int64_t train_size = 0;
+    int64_t test_size = 0;
+    const bool fields_ok =
+        !key.empty() && ParseDouble(row[3], &r.f1) &&
+        ParseDouble(row[4], &r.precision) && ParseDouble(row[5], &r.recall) &&
+        ParseDouble(row[6], &r.accuracy) && ParseDouble(row[7], &r.auc) &&
+        ParseDouble(row[8], &r.calibrated_f1) &&
+        ParseDouble(row[9], &r.train_seconds) &&
+        ParseInt64(row[10], &train_size) && ParseInt64(row[11], &test_size) &&
+        (row.size() == 12 || CellOutcomeFromName(row[12], &r.outcome));
+    if (!fields_ok) {
+      ++parsed.malformed;
+      continue;
+    }
+    r.train_size = train_size;
+    r.test_size = test_size;
+    parsed.entries[key] = std::move(r);
+  }
+  return parsed;
+}
+
+std::string SerializeCache(
+    const std::map<std::string, ExperimentResult>& entries) {
+  CsvWriter writer;
+  for (const auto& [k, r] : entries) {
+    writer.AddRow({k, r.dataset, r.model, StrFormat("%.6f", r.f1),
+                   StrFormat("%.6f", r.precision),
+                   StrFormat("%.6f", r.recall),
+                   StrFormat("%.6f", r.accuracy), StrFormat("%.6f", r.auc),
+                   StrFormat("%.6f", r.calibrated_f1),
+                   StrFormat("%.4f", r.train_seconds),
+                   std::to_string(r.train_size),
+                   std::to_string(r.test_size),
+                   CellOutcomeName(r.outcome)});
+  }
+  std::string payload = writer.ToString();
+  return payload + StrFormat("%s%08x\n", kCrcFooterPrefix, Crc32(payload));
+}
+
 }  // namespace
+
+const char* CellOutcomeName(CellOutcome outcome) {
+  switch (outcome) {
+    case CellOutcome::kOk: return "ok";
+    case CellOutcome::kCached: return "cached";
+    case CellOutcome::kRetried: return "retried";
+    case CellOutcome::kTimedOut: return "timed_out";
+    case CellOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
 
 std::string ExperimentCacheKey(const data::DatasetSpec& spec,
                                models::ModelKind kind, uint64_t seed) {
@@ -78,22 +186,39 @@ std::string SpecConfigDigest(const data::DatasetSpec& spec) {
 
 ExperimentResult TrainAndEvaluate(const data::Dataset& train,
                                   const data::Dataset& test,
-                                  models::ModelKind kind, uint64_t seed) {
-  auto model = models::CreateModelSeeded(kind, seed);
-  SEMTAG_CHECK(model != nullptr);
-  const Status st = model->Train(train);
-  if (!st.ok()) {
-    SEMTAG_LOG(kError, "training %s on %s failed: %s",
-               models::ModelKindName(kind), train.name().c_str(),
-               st.ToString().c_str());
-  }
+                                  models::ModelKind kind, uint64_t seed,
+                                  CancellationToken cancel) {
+  const std::string cell =
+      train.name() + "/" + models::ModelKindName(kind);
   ExperimentResult result;
   result.dataset = train.name();
   result.model = models::ModelKindName(kind);
   result.train_size = static_cast<int64_t>(train.size());
   result.test_size = static_cast<int64_t>(test.size());
+
+  // Injectable stall before training: under a cell deadline the token
+  // expires while we sleep, and the cooperative checks in Train() turn the
+  // stall into a clean kTimedOut instead of a hung sweep. The crash probe
+  // simulates a kill -9 at a cell boundary (resume-journal tests).
+  FaultInjected(FaultPoint::kStall, cell);
+  FaultInjected(FaultPoint::kCrash, cell);
+
+  auto model = models::CreateModelSeeded(kind, seed);
+  SEMTAG_CHECK(model != nullptr);
+  model->set_cancellation(cancel);
+  const Status st = model->Train(train);
   result.train_seconds = model->train_seconds();
-  if (!st.ok()) return result;
+  result.retries = model->train_retries();
+  if (!st.ok()) {
+    result.error = st.ToString();
+    result.outcome = (st.code() == StatusCode::kDeadlineExceeded ||
+                      st.code() == StatusCode::kCancelled)
+                         ? CellOutcome::kTimedOut
+                         : CellOutcome::kFailed;
+    SEMTAG_LOG(kError, "cell %s %s: %s", cell.c_str(),
+               CellOutcomeName(result.outcome), result.error.c_str());
+    return result;
+  }
 
   const auto texts = test.Texts();
   const auto labels = test.Labels();
@@ -108,6 +233,26 @@ ExperimentResult TrainAndEvaluate(const data::Dataset& train,
   result.accuracy = confusion.Accuracy();
   result.auc = eval::Auc(labels, scores);
   result.calibrated_f1 = eval::CalibrateMaxF1(labels, scores).best_f1;
+  const bool finite = std::isfinite(result.f1) &&
+                      std::isfinite(result.precision) &&
+                      std::isfinite(result.recall) &&
+                      std::isfinite(result.accuracy) &&
+                      std::isfinite(result.auc) &&
+                      std::isfinite(result.calibrated_f1);
+  if (!finite) {
+    result = ExperimentResult();
+    result.dataset = train.name();
+    result.model = models::ModelKindName(kind);
+    result.train_size = static_cast<int64_t>(train.size());
+    result.test_size = static_cast<int64_t>(test.size());
+    result.error = "non-finite metrics";
+    result.outcome = CellOutcome::kFailed;
+    SEMTAG_LOG(kError, "cell %s produced non-finite metrics; discarded",
+               cell.c_str());
+    return result;
+  }
+  result.outcome =
+      result.retries > 0 ? CellOutcome::kRetried : CellOutcome::kOk;
   return result;
 }
 
@@ -119,31 +264,23 @@ ExperimentRunner::ExperimentRunner(bool use_cache) : use_cache_(use_cache) {
 }
 
 void ExperimentRunner::LoadCacheFile() {
-  auto content = ReadFileToString(cache_path_);
-  if (!content.ok()) return;  // first run: no cache yet
-  auto rows = ParseCsv(*content);
-  if (!rows.ok()) {
-    SEMTAG_LOG(kWarning, "ignoring corrupt result cache %s",
-               cache_path_.c_str());
+  auto read = ReadFileToString(cache_path_);
+  if (!read.ok()) return;  // first run: no cache yet
+  std::string content = *std::move(read);
+  if (FaultInjected(FaultPoint::kReadCorrupt, cache_path_) &&
+      !content.empty()) {
+    content[content.size() / 2] ^= 0x40;
+  }
+  ParsedCache parsed = ParseCacheContent(content);
+  if (parsed.crc_mismatch) {
+    (void)QuarantineFile(cache_path_, "result cache CRC mismatch");
     return;
   }
-  for (const auto& row : *rows) {
-    if (row.size() != 12) continue;
-    ExperimentResult r;
-    const std::string& key = row[0];
-    r.dataset = row[1];
-    r.model = row[2];
-    r.f1 = std::atof(row[3].c_str());
-    r.precision = std::atof(row[4].c_str());
-    r.recall = std::atof(row[5].c_str());
-    r.accuracy = std::atof(row[6].c_str());
-    r.auc = std::atof(row[7].c_str());
-    r.calibrated_f1 = std::atof(row[8].c_str());
-    r.train_seconds = std::atof(row[9].c_str());
-    r.train_size = std::atol(row[10].c_str());
-    r.test_size = std::atol(row[11].c_str());
-    cache_[key] = std::move(r);
+  if (parsed.malformed > 0) {
+    SEMTAG_LOG(kWarning, "result cache %s: skipped %d malformed row(s)",
+               cache_path_.c_str(), parsed.malformed);
   }
+  cache_ = std::move(parsed.entries);
 }
 
 bool ExperimentRunner::Lookup(const std::string& key,
@@ -161,20 +298,21 @@ void ExperimentRunner::Store(const std::string& key,
   if (!use_cache_) return;
   std::lock_guard<std::mutex> lock(cache_mu_);
   cache_[key] = result;
-  // Rewrite the whole file: results are small and this keeps it valid CSV
-  // even if two binaries interleave (last writer wins per run).
-  CsvWriter writer;
-  for (const auto& [k, r] : cache_) {
-    writer.AddRow({k, r.dataset, r.model, StrFormat("%.6f", r.f1),
-                   StrFormat("%.6f", r.precision),
-                   StrFormat("%.6f", r.recall),
-                   StrFormat("%.6f", r.accuracy), StrFormat("%.6f", r.auc),
-                   StrFormat("%.6f", r.calibrated_f1),
-                   StrFormat("%.4f", r.train_seconds),
-                   std::to_string(r.train_size),
-                   std::to_string(r.test_size)});
+  // Read-merge-rewrite under an advisory file lock, so concurrent bench
+  // binaries union their cells instead of the last writer erasing the
+  // other's results. Rows we hold in memory are at least as fresh as the
+  // file's, so ours win on key collisions.
+  FileLock file_lock(cache_path_);
+  auto disk = ReadFileToString(cache_path_);
+  if (disk.ok()) {
+    ParsedCache parsed = ParseCacheContent(*disk);
+    if (!parsed.crc_mismatch) {
+      for (auto& [k, r] : parsed.entries) {
+        cache_.emplace(k, std::move(r));
+      }
+    }
   }
-  const Status st = writer.WriteFile(cache_path_);
+  const Status st = WriteFileAtomic(cache_path_, SerializeCache(cache_));
   if (!st.ok()) {
     SEMTAG_LOG(kWarning, "cannot persist result cache: %s",
                st.ToString().c_str());
@@ -186,14 +324,22 @@ ExperimentResult ExperimentRunner::Run(const data::DatasetSpec& spec,
                                        uint64_t seed) {
   const std::string key = ExperimentCacheKey(spec, kind, seed);
   ExperimentResult result;
-  if (Lookup(key, &result)) return result;
+  if (Lookup(key, &result)) {
+    result.outcome = CellOutcome::kCached;
+    return result;
+  }
   data::Dataset dataset = data::BuildDataset(spec);
   Rng shuffle_rng(spec.generator.seed ^ (seed * 0x9e3779b9ULL));
   dataset.Shuffle(&shuffle_rng);
   auto [train, test] = dataset.Split(spec.train_fraction);
   train.set_name(spec.name);
-  result = TrainAndEvaluate(train, test, kind, seed);
-  Store(key, result);
+  result = TrainAndEvaluate(train, test, kind, seed, MakeCellToken());
+  // Only completed cells enter the cache/journal; timed-out and failed
+  // cells stay uncached so the next run retries them.
+  if (result.outcome == CellOutcome::kOk ||
+      result.outcome == CellOutcome::kRetried) {
+    Store(key, result);
+  }
   return result;
 }
 
@@ -206,24 +352,54 @@ ExperimentResult ExperimentRunner::RunOn(const std::string& cache_key,
       StrFormat("%s|%s|s%" PRIu64 "|v%" PRIu64, cache_key.c_str(),
                 models::ModelKindName(kind), seed, kRunnerVersion);
   ExperimentResult result;
-  if (Lookup(key, &result)) return result;
-  result = TrainAndEvaluate(train, test, kind, seed);
-  Store(key, result);
+  if (Lookup(key, &result)) {
+    result.outcome = CellOutcome::kCached;
+    return result;
+  }
+  result = TrainAndEvaluate(train, test, kind, seed, MakeCellToken());
+  if (result.outcome == CellOutcome::kOk ||
+      result.outcome == CellOutcome::kRetried) {
+    Store(key, result);
+  }
   return result;
 }
 
-std::vector<ExperimentResult> ExperimentRunner::RunAll(
-    models::ModelKind kind) {
-  const auto specs = data::AllDatasetSpecs();
-  std::vector<ExperimentResult> results(specs.size());
+RunReport ExperimentRunner::RunMany(
+    const std::vector<data::DatasetSpec>& specs, models::ModelKind kind) {
+  RunReport report;
+  report.results.resize(specs.size());
   // Each cell is fully self-contained (dataset generation, split,
   // seeded model), so cells parallelise across the pool; results land at
   // their spec's index and the returned order matches the sequential path
-  // exactly.
+  // exactly. A cell that fails or times out is recorded and the sweep
+  // continues.
   ParallelFor(0, specs.size(), 1, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) results[i] = Run(specs[i], kind);
+    for (size_t i = lo; i < hi; ++i) {
+      report.results[i] = Run(specs[i], kind);
+    }
   });
-  return results;
+  for (const auto& r : report.results) {
+    switch (r.outcome) {
+      case CellOutcome::kOk: ++report.ok; break;
+      case CellOutcome::kCached: ++report.cached; break;
+      case CellOutcome::kRetried: ++report.retried; break;
+      case CellOutcome::kTimedOut: ++report.timed_out; break;
+      case CellOutcome::kFailed: ++report.failed; break;
+    }
+  }
+  if (!report.all_ok()) {
+    SEMTAG_LOG(kWarning,
+               "%s sweep: %d ok, %d cached, %d retried, %d timed out, "
+               "%d failed (failed/timed-out cells stay uncached and will "
+               "retry on the next run)",
+               models::ModelKindName(kind), report.ok, report.cached,
+               report.retried, report.timed_out, report.failed);
+  }
+  return report;
+}
+
+RunReport ExperimentRunner::RunAll(models::ModelKind kind) {
+  return RunMany(data::AllDatasetSpecs(), kind);
 }
 
 }  // namespace semtag::core

@@ -6,10 +6,22 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "data/specs.h"
 #include "models/factory.h"
 
 namespace semtag::core {
+
+/// How one (dataset, model) cell of the study grid ended.
+enum class CellOutcome {
+  kOk,        // trained and evaluated normally
+  kCached,    // served from the persistent result cache
+  kRetried,   // succeeded after >= 1 divergence recovery
+  kTimedOut,  // hit the per-cell deadline (SEMTAG_CELL_DEADLINE_MS)
+  kFailed,    // training error or non-finite metrics
+};
+
+const char* CellOutcomeName(CellOutcome outcome);
 
 /// All measurements of one (dataset, model) run.
 struct ExperimentResult {
@@ -25,12 +37,34 @@ struct ExperimentResult {
   double train_seconds = 0.0;
   int64_t train_size = 0;
   int64_t test_size = 0;
+  CellOutcome outcome = CellOutcome::kOk;
+  /// Divergence recoveries performed while training this cell.
+  int retries = 0;
+  /// Status message when outcome is kTimedOut or kFailed (not persisted).
+  std::string error;
+};
+
+/// Aggregate accounting of a grid sweep: every requested cell appears in
+/// `results` exactly once, whatever its fate.
+struct RunReport {
+  std::vector<ExperimentResult> results;
+  int ok = 0;
+  int cached = 0;
+  int retried = 0;
+  int timed_out = 0;
+  int failed = 0;
+  bool all_ok() const { return timed_out == 0 && failed == 0; }
 };
 
 /// Trains `kind` on `train`, evaluates on `test`, and fills every metric.
+/// `cancel` (optional) is polled cooperatively inside the training loop;
+/// on deadline/cancellation the result carries outcome kTimedOut, on a
+/// training error or non-finite metrics kFailed — metrics stay zeroed and
+/// the error message is preserved, so a sweep never dies on one bad cell.
 ExperimentResult TrainAndEvaluate(const data::Dataset& train,
                                   const data::Dataset& test,
-                                  models::ModelKind kind, uint64_t seed = 0);
+                                  models::ModelKind kind, uint64_t seed = 0,
+                                  CancellationToken cancel = {});
 
 /// Runs experiments with a persistent file cache, so the bench binaries
 /// (separate processes sharing many cells of the dataset x model grid) do
@@ -38,13 +72,19 @@ ExperimentResult TrainAndEvaluate(const data::Dataset& train,
 ///
 /// Cache keys hash the dataset's full generator configuration, the split,
 /// the model, and the seed — retuning any knob invalidates exactly the
-/// affected entries. The cache lives at CacheDir()/results.csv.
+/// affected entries. The cache lives at CacheDir()/results.csv, protected
+/// by a CRC32 footer, published atomically (temp file + rename), and
+/// merged with concurrent writers under an advisory file lock. It doubles
+/// as the resume journal: a killed sweep rerun in a fresh process serves
+/// every completed cell from cache and recomputes only the rest.
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(bool use_cache = true);
 
   /// Standard protocol of Section 5.1: deterministic shuffle, then a
-  /// train_fraction/rest split of the spec's generated dataset.
+  /// train_fraction/rest split of the spec's generated dataset. Each cell
+  /// runs under the SEMTAG_CELL_DEADLINE_MS watchdog; only ok/retried
+  /// results enter the cache (timed-out and failed cells retry next run).
   ExperimentResult Run(const data::DatasetSpec& spec, models::ModelKind kind,
                        uint64_t seed = 0);
 
@@ -55,11 +95,15 @@ class ExperimentRunner {
                          const data::Dataset& test, models::ModelKind kind,
                          uint64_t seed = 0);
 
-  /// Convenience: Run() over all 21 specs for one model. Cells run in
+  /// Run() over an explicit list of specs for one model. Cells run in
   /// parallel on the global pool (each cell is independent: its own
-  /// generated dataset, split, and seeded model), so the wall-clock of a
-  /// grid sweep approaches that of its slowest cell.
-  std::vector<ExperimentResult> RunAll(models::ModelKind kind);
+  /// generated dataset, split, and seeded model); a failed or timed-out
+  /// cell is recorded in the report and the rest of the grid completes.
+  RunReport RunMany(const std::vector<data::DatasetSpec>& specs,
+                    models::ModelKind kind);
+
+  /// Convenience: RunMany() over all 21 specs.
+  RunReport RunAll(models::ModelKind kind);
 
  private:
   bool Lookup(const std::string& key, ExperimentResult* result) const;

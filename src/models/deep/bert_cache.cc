@@ -21,8 +21,9 @@ constexpr int kCorpusSentences = 6000;
 constexpr int kCorpusAvgLen = 16;
 constexpr uint64_t kCorpusSeed = 999;
 constexpr int kRobertaCorpusSentences = 8000;
-/// Bump to invalidate cached checkpoints after pretraining changes.
-constexpr int kPretrainVersion = 3;
+/// Bump to invalidate cached checkpoints after pretraining or checkpoint
+/// format changes (v4: CRC32-footer crash-safe format).
+constexpr int kPretrainVersion = 4;
 
 struct VariantSetup {
   BertConfig config;

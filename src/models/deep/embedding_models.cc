@@ -39,6 +39,9 @@ Status EmbeddingLinearModel::Train(const data::Dataset& train) {
   std::vector<std::vector<float>> features;
   features.reserve(train.size());
   for (const auto& e : train.examples()) {
+    // Featurization runs a transformer forward per example — the slow part
+    // of this model, so the deadline is checked here too.
+    SEMTAG_RETURN_NOT_OK(CheckCancelled());
     features.push_back(featurizer_.Embed(e.text));
   }
   const auto labels = train.Labels();
@@ -49,6 +52,7 @@ Status EmbeddingLinearModel::Train(const data::Dataset& train) {
   std::iota(order.begin(), order.end(), size_t{0});
   nn::InverseTimeDecayLr schedule(options_.learning_rate, 1e-3);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    SEMTAG_RETURN_NOT_OK(CheckCancelled());
     rng.Shuffle(&order);
     for (size_t i : order) {
       const double lr = schedule.Next();

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "la/init.h"
+#include "nn/train_guard.h"
 
 namespace semtag::models {
 
@@ -108,6 +109,9 @@ PretrainStats MiniBertBackbone::Pretrain(
   PretrainStats stats;
   Rng rng(options.seed);
   nn::Adam optimizer(Parameters(), static_cast<float>(options.learning_rate));
+  nn::TrainGuardOptions guard_options;
+  guard_options.context = "MLM-pretrain";
+  nn::TrainGuard guard(&optimizer, guard_options);
   const int32_t vocab = vocab_size();
   std::vector<size_t> order(corpus.size());
   std::iota(order.begin(), order.end(), size_t{0});
@@ -150,15 +154,29 @@ PretrainStats MiniBertBackbone::Pretrain(
       ++loss_count;
       nn::Backward(loss);
       if (++in_batch >= options.batch_size) {
-        optimizer.ClipGradNorm(5.0f);
-        optimizer.Step();
+        const Status st = guard.Step(loss.value()(0, 0));
+        if (!st.ok()) {
+          // Pretraining has no Status channel; stop on the last-good
+          // snapshot (finite weights) rather than emitting garbage.
+          SEMTAG_LOG(kError, "MLM pretraining aborted: %s",
+                     st.ToString().c_str());
+          stats.aborted = true;
+          stats.retries = guard.retries();
+          return stats;
+        }
         in_batch = 0;
       }
       ++steps;
     }
     if (in_batch > 0) {
-      optimizer.ClipGradNorm(5.0f);
-      optimizer.Step();
+      const Status st = guard.Step(0.0f);
+      if (!st.ok()) {
+        SEMTAG_LOG(kError, "MLM pretraining aborted: %s",
+                   st.ToString().c_str());
+        stats.aborted = true;
+        stats.retries = guard.retries();
+        return stats;
+      }
     }
     const double mean_loss =
         loss_count ? loss_acc / static_cast<double>(loss_count) : 0.0;
@@ -169,6 +187,7 @@ PretrainStats MiniBertBackbone::Pretrain(
     loss_acc = 0.0;
     loss_count = 0;
   }
+  stats.retries = guard.retries();
   return stats;
 }
 
@@ -216,10 +235,17 @@ Status MiniBert::Train(const data::Dataset& train_full) {
                             static_cast<size_t>(options_.batch_size) +
                         train.size() - 1) /
                        train.size()));
-  for (int epoch = 0; epoch < effective_epochs; ++epoch) {
+  nn::TrainGuardOptions guard_options;
+  guard_options.context = display_name_ + "@" + train.name();
+  nn::TrainGuard guard(&optimizer, guard_options);
+  Status train_status = Status::OK();
+  for (int epoch = 0; epoch < effective_epochs && train_status.ok();
+       ++epoch) {
     rng_.Shuffle(&order);
     int in_batch = 0;
     for (size_t i : order) {
+      train_status = CheckCancelled();
+      if (!train_status.ok()) break;
       nn::Variable hidden =
           backbone_->Encode(encoded[i], &rng_, /*training=*/true);
       nn::Variable cls = nn::SliceRows(hidden, 0, 1);
@@ -228,18 +254,19 @@ Status MiniBert::Train(const data::Dataset& train_full) {
           nn::SoftmaxCrossEntropy(logits, {labels[i]});
       nn::Backward(loss);
       if (++in_batch >= options_.batch_size) {
-        optimizer.ClipGradNorm(5.0f);
-        optimizer.Step();
+        train_status = guard.Step(loss.value()(0, 0));
+        if (!train_status.ok()) break;
         in_batch = 0;
       }
     }
-    if (in_batch > 0) {
-      optimizer.ClipGradNorm(5.0f);
-      optimizer.Step();
+    if (train_status.ok() && in_batch > 0) {
+      train_status = guard.Step(0.0f);
     }
   }
-  trained_ = true;
+  set_train_retries(guard.retries());
   set_train_seconds(timer.ElapsedSeconds());
+  if (!train_status.ok()) return train_status;
+  trained_ = true;
   return Status::OK();
 }
 

@@ -42,6 +42,11 @@ struct PretrainOptions {
 struct PretrainStats {
   double first_epoch_loss = 0.0;
   double last_epoch_loss = 0.0;
+  /// Divergence recoveries performed by the guarded MLM loop.
+  int retries = 0;
+  /// True when the retry budget was exhausted and pretraining stopped
+  /// early on the last-good snapshot (weights stay finite).
+  bool aborted = false;
 };
 
 /// Transformer encoder with a fixed (pretraining) vocabulary — the piece

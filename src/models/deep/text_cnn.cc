@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "nn/optimizer.h"
+#include "nn/train_guard.h"
 
 namespace semtag::models {
 
@@ -65,26 +66,34 @@ Status TextCnn::Train(const data::Dataset& train_full) {
                             static_cast<size_t>(options_.batch_size) +
                         train.size() - 1) /
                        train.size()));
-  for (int epoch = 0; epoch < effective_epochs; ++epoch) {
+  nn::TrainGuardOptions guard_options;
+  guard_options.context = "CNN@" + train.name();
+  nn::TrainGuard guard(&optimizer, guard_options);
+  Status train_status = Status::OK();
+  for (int epoch = 0; epoch < effective_epochs && train_status.ok();
+       ++epoch) {
     rng_.Shuffle(&order);
     int in_batch = 0;
     for (size_t i : order) {
+      train_status = CheckCancelled();
+      if (!train_status.ok()) break;
       nn::Variable logits = Logits(encoded[i], /*training=*/true);
       nn::Variable loss = nn::SoftmaxCrossEntropy(logits, {labels[i]});
       nn::Backward(loss);
       if (++in_batch >= options_.batch_size) {
-        optimizer.ClipGradNorm(5.0f);
-        optimizer.Step();
+        train_status = guard.Step(loss.value()(0, 0));
+        if (!train_status.ok()) break;
         in_batch = 0;
       }
     }
-    if (in_batch > 0) {
-      optimizer.ClipGradNorm(5.0f);
-      optimizer.Step();
+    if (train_status.ok() && in_batch > 0) {
+      train_status = guard.Step(0.0f);
     }
   }
-  trained_ = true;
+  set_train_retries(guard.retries());
   set_train_seconds(timer.ElapsedSeconds());
+  if (!train_status.ok()) return train_status;
+  trained_ = true;
   return Status::OK();
 }
 

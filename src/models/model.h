@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "data/dataset.h"
 
@@ -59,11 +60,32 @@ class TaggingModel {
   /// Wall-clock seconds of the last Train() call.
   double train_seconds() const { return train_seconds_; }
 
+  /// Attaches a cooperative cancellation token that Train() checks between
+  /// steps; once it fires, Train() stops and returns DeadlineExceeded /
+  /// Cancelled. Must be set before Train(). A null token (the default)
+  /// never cancels and costs nothing to probe.
+  void set_cancellation(CancellationToken token) {
+    cancellation_ = std::move(token);
+  }
+
+  /// Divergence recoveries performed by the last Train() call (non-finite
+  /// loss/gradient steps that were rolled back and retried; see
+  /// nn::TrainGuard). 0 for models without a guarded loop.
+  int train_retries() const { return train_retries_; }
+
  protected:
   void set_train_seconds(double s) { train_seconds_ = s; }
+  void set_train_retries(int n) { train_retries_ = n; }
+  const CancellationToken& cancellation() const { return cancellation_; }
+  /// OK while training may continue; the token's error once it fired.
+  Status CheckCancelled() const {
+    return cancellation_.cancelled() ? cancellation_.status() : Status::OK();
+  }
 
  private:
   double train_seconds_ = 0.0;
+  int train_retries_ = 0;
+  CancellationToken cancellation_;
 };
 
 }  // namespace semtag::models

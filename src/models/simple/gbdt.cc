@@ -197,6 +197,7 @@ Status Gbdt::Train(const data::Dataset& train_full) {
   std::vector<double> hess(n);
   trees_.clear();
   for (int round = 0; round < options_.num_trees; ++round) {
+    SEMTAG_RETURN_NOT_OK(CheckCancelled());
     for (size_t i = 0; i < n; ++i) {
       const double p = 1.0 / (1.0 + std::exp(-scores[i]));
       grad[i] = p - labels[i];

@@ -39,6 +39,7 @@ Status LinearSvm::Train(const data::Dataset& train) {
   const double c = options_.c;
 
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    SEMTAG_RETURN_NOT_OK(CheckCancelled());
     rng.Shuffle(&order);
     double max_pg = 0.0;
     for (size_t i : order) {

@@ -29,6 +29,7 @@ Status LogisticRegression::Train(const data::Dataset& train) {
                                   options_.lr_decay);
   int64_t t = 0;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    SEMTAG_RETURN_NOT_OK(CheckCancelled());
     rng.Shuffle(&order);
     for (size_t i : order) {
       const double lr = schedule.Next();

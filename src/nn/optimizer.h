@@ -21,6 +21,11 @@ class Optimizer {
   /// Applies one update and zeroes gradients.
   virtual void Step() = 0;
 
+  /// Learning rate, adjustable mid-training (TrainGuard halves it when
+  /// recovering from a diverged step).
+  virtual float lr() const = 0;
+  virtual void set_lr(float lr) = 0;
+
   /// Zeroes all parameter gradients.
   void ZeroGrad();
 
@@ -40,8 +45,8 @@ class Sgd : public Optimizer {
       float weight_decay = 0.0f);
 
   void Step() override;
-  void set_lr(float lr) { lr_ = lr; }
-  float lr() const { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+  float lr() const override { return lr_; }
 
  private:
   float lr_;
@@ -58,8 +63,8 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
 
   void Step() override;
-  void set_lr(float lr) { lr_ = lr; }
-  float lr() const { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+  float lr() const override { return lr_; }
 
  private:
   float lr_;

@@ -10,12 +10,17 @@
 namespace semtag::nn {
 
 /// Writes the values of `params` to a binary checkpoint file. Format:
-/// magic, count, then per-parameter (rows, cols, float32 data). Used to
-/// cache the MiniBert pretrained weights across processes.
+/// magic, count, per-parameter (rows, cols, float32 data), then a CRC32 +
+/// footer-magic integrity trailer. The write is crash-safe (atomic
+/// temp-file+rename), so readers never observe a partial checkpoint. Used
+/// to cache the MiniBert pretrained weights across processes.
 Status SaveCheckpoint(const std::string& path,
                       const std::vector<Variable>& params);
 
-/// Loads a checkpoint into `params` (shapes must match exactly).
+/// Loads a checkpoint into `params` (shapes must match exactly). A
+/// truncated or bit-flipped file fails the CRC check, is quarantined to
+/// "<path>.corrupt" with a warning, and returns InvalidArgument — callers
+/// regenerate instead of consuming garbage weights.
 Status LoadCheckpoint(const std::string& path,
                       std::vector<Variable>* params);
 

@@ -1,0 +1,97 @@
+#include "nn/train_guard.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/fault.h"
+#include "common/logging.h"
+
+namespace semtag::nn {
+
+TrainGuard::TrainGuard(Optimizer* optimizer, TrainGuardOptions options)
+    : optimizer_(optimizer), options_(std::move(options)) {
+  SEMTAG_CHECK(optimizer_ != nullptr);
+  Snapshot();
+}
+
+void TrainGuard::Snapshot() {
+  last_good_.clear();
+  last_good_.reserve(optimizer_->params().size());
+  for (const auto& p : optimizer_->params()) {
+    last_good_.push_back(p.value());
+  }
+}
+
+void TrainGuard::Restore() {
+  const auto& params = optimizer_->params();
+  SEMTAG_CHECK(params.size() == last_good_.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].node()->value = last_good_[i];
+  }
+}
+
+double TrainGuard::GradNorm() const {
+  double total = 0.0;
+  for (const auto& p : optimizer_->params()) {
+    if (!p.grad().SameShape(p.value())) continue;
+    const float norm = p.grad().Norm();
+    total += static_cast<double>(norm) * norm;
+  }
+  return std::sqrt(total);
+}
+
+Status TrainGuard::Step(float loss) {
+  if (FaultInjected(FaultPoint::kNonFiniteLoss, options_.context)) {
+    loss = std::numeric_limits<float>::quiet_NaN();
+  }
+  if (FaultInjected(FaultPoint::kNonFiniteGrad, options_.context)) {
+    // Poison a real gradient so detection exercises the same code path a
+    // genuine overflow would.
+    for (const auto& p : optimizer_->params()) {
+      if (!p.grad().SameShape(p.value()) || p.grad().empty()) continue;
+      p.node()->grad.data()[0] = std::numeric_limits<float>::quiet_NaN();
+      break;
+    }
+  }
+  const double norm = GradNorm();
+  if (std::isfinite(loss) && std::isfinite(norm)) {
+    if (norm > options_.clip_norm && norm > 0.0) {
+      const float scale = static_cast<float>(options_.clip_norm / norm);
+      for (const auto& p : optimizer_->params()) {
+        if (!p.grad().SameShape(p.value())) continue;
+        p.node()->grad.Scale(scale);
+      }
+    }
+    optimizer_->Step();
+    if (++healthy_steps_ % options_.snapshot_interval == 0) Snapshot();
+    return Status::OK();
+  }
+
+  // Divergence: bounded retry with snapshot restore + lr halving + backoff.
+  ++retries_;
+  if (retries_ > options_.max_retries) {
+    return Status::Internal(
+        options_.context +
+        ": non-finite loss/gradients persisted after " +
+        std::to_string(options_.max_retries) +
+        " recoveries; aborting training instead of emitting garbage");
+  }
+  Restore();
+  optimizer_->ZeroGrad();
+  const float new_lr = optimizer_->lr() * options_.lr_backoff;
+  optimizer_->set_lr(new_lr);
+  SEMTAG_LOG(kWarning,
+             "%s: non-finite loss/gradient at step %d; restored last-good "
+             "params, lr -> %g (retry %d/%d)",
+             options_.context.c_str(), healthy_steps_,
+             static_cast<double>(new_lr), retries_, options_.max_retries);
+  if (options_.backoff_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int64_t>(options_.backoff_ms) << (retries_ - 1)));
+  }
+  return Status::OK();
+}
+
+}  // namespace semtag::nn

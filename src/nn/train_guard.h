@@ -1,0 +1,69 @@
+#ifndef SEMTAG_NN_TRAIN_GUARD_H_
+#define SEMTAG_NN_TRAIN_GUARD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "nn/optimizer.h"
+
+namespace semtag::nn {
+
+/// Knobs of the divergence-recovery policy (see DESIGN.md "Failure model
+/// and recovery").
+struct TrainGuardOptions {
+  /// Global L2 gradient-norm clip applied to every healthy step.
+  float clip_norm = 5.0f;
+  /// Recoveries before Step() gives up with an Internal error.
+  int max_retries = 3;
+  /// Healthy steps between last-good parameter snapshots.
+  int snapshot_interval = 50;
+  /// Learning-rate multiplier applied on each recovery.
+  float lr_backoff = 0.5f;
+  /// Base of the exponential backoff sleep (ms): backoff_ms << retry.
+  int backoff_ms = 2;
+  /// Tag used in logs and matched by SEMTAG_FAULT specs, e.g. "CNN@HOTEL".
+  std::string context;
+};
+
+/// Guards a training loop against numeric divergence. Call Step(loss) once
+/// per optimizer step instead of ClipGradNorm+Step: a healthy step clips
+/// the global gradient norm and applies the update; a step whose loss or
+/// gradients are non-finite restores the last-good parameter snapshot,
+/// halves the learning rate, sleeps an exponential backoff, and reports OK
+/// so training continues. Only when max_retries recoveries are exhausted
+/// does Step() return an error, which the model surfaces through
+/// Model::Train()'s Status — garbage metrics are never silently emitted.
+///
+/// The guard changes nothing on the healthy path beyond what
+/// ClipGradNorm already computed (one gradient-norm pass), so fault-free
+/// training remains bit-identical to the unguarded loop.
+class TrainGuard {
+ public:
+  TrainGuard(Optimizer* optimizer, TrainGuardOptions options);
+
+  /// Validates this step's loss and gradients, then either applies the
+  /// optimizer update or recovers. `loss` is the scalar loss value of the
+  /// step (batch) being applied.
+  Status Step(float loss);
+
+  /// Recoveries performed so far.
+  int retries() const { return retries_; }
+
+ private:
+  void Snapshot();
+  void Restore();
+  /// Global L2 gradient norm; NaN/Inf gradients make it non-finite.
+  double GradNorm() const;
+
+  Optimizer* optimizer_;
+  TrainGuardOptions options_;
+  std::vector<la::Matrix> last_good_;
+  int retries_ = 0;
+  int healthy_steps_ = 0;
+};
+
+}  // namespace semtag::nn
+
+#endif  // SEMTAG_NN_TRAIN_GUARD_H_

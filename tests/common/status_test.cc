@@ -28,6 +28,9 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -47,6 +50,28 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::string> r = std::string("hello");
   std::string v = std::move(r).ValueOrDie();
   EXPECT_EQ(v, "hello");
+}
+
+// ValueOrDie on an error result must abort with the status message in
+// every build mode (a plain assert would be compiled out under NDEBUG and
+// silently hand back an empty value).
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH((void)r.ValueOrDie(), "boom");
+}
+
+TEST(ResultDeathTest, MovedValueOrDieOnErrorAborts) {
+  EXPECT_DEATH(
+      {
+        Result<std::string> r = Status::NotFound("gone missing");
+        (void)std::move(r).ValueOrDie();
+      },
+      "gone missing");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH((void)Result<int>(Status::OK()),
+               "constructed from an OK status");
 }
 
 Status Helper(bool fail) {

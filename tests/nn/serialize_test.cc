@@ -1,8 +1,10 @@
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "la/init.h"
 #include "nn/serialize.h"
@@ -12,6 +14,19 @@ namespace {
 
 std::string TempPath(const char* name) {
   return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<Variable> RandomParams(uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix a(4, 5);
+  la::Matrix b(2, 3);
+  la::XavierUniform(&a, &rng);
+  la::XavierUniform(&b, &rng);
+  return {Variable(a, true), Variable(b, true)};
+}
+
+std::vector<Variable> EmptyLike() {
+  return {Variable(la::Matrix(4, 5), true), Variable(la::Matrix(2, 3), true)};
 }
 
 TEST(SerializeTest, RoundTrip) {
@@ -71,6 +86,66 @@ TEST(SerializeTest, CorruptHeaderIsRejected) {
   std::vector<Variable> params = {Variable(la::Matrix(1, 1), true)};
   EXPECT_FALSE(LoadCheckpoint(path, &params).ok());
   std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BitFlipFailsCrcAndQuarantines) {
+  const std::string path = TempPath("semtag_ckpt_bitflip.bin");
+  ASSERT_TRUE(SaveCheckpoint(path, RandomParams(3)).ok());
+  // Flip one bit in the middle of the tensor payload.
+  {
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<long>(f.tellg());
+    f.seekg(size / 2);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+  auto params = EmptyLike();
+  const Status st = LoadCheckpoint(path, &params);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The corrupt file was moved aside so the next writer starts clean.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  std::filesystem::remove(path + ".corrupt");
+}
+
+TEST(SerializeTest, TruncationIsRejected) {
+  const std::string path = TempPath("semtag_ckpt_trunc.bin");
+  ASSERT_TRUE(SaveCheckpoint(path, RandomParams(4)).ok());
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+  auto params = EmptyLike();
+  EXPECT_FALSE(LoadCheckpoint(path, &params).ok());
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".corrupt");
+}
+
+TEST(SerializeTest, InjectedReadCorruptionIsCaughtByCrc) {
+  const std::string path = TempPath("semtag_ckpt_fault.bin");
+  const auto saved = RandomParams(5);
+  ASSERT_TRUE(SaveCheckpoint(path, saved).ok());
+  ASSERT_TRUE(
+      SetFaultsFromSpec("read_corrupt:match=ckpt_fault:count=1").ok());
+  auto params = EmptyLike();
+  EXPECT_FALSE(LoadCheckpoint(path, &params).ok());
+  ClearFaults();
+  // The on-disk file was fine (only the read was poisoned), but the CRC
+  // check cannot tell the difference, so it was quarantined: re-save and
+  // verify a clean round trip restores service.
+  ASSERT_TRUE(SaveCheckpoint(path, saved).ok());
+  auto reloaded = EmptyLike();
+  ASSERT_TRUE(LoadCheckpoint(path, &reloaded).ok());
+  for (size_t i = 0; i < saved[0].value().size(); ++i) {
+    EXPECT_FLOAT_EQ(reloaded[0].value().data()[i],
+                    saved[0].value().data()[i]);
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".corrupt");
 }
 
 }  // namespace

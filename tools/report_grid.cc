@@ -34,12 +34,19 @@ int Main() {
   // keys contain no '|' prefix beyond name|model|seed0|hash).
   std::map<std::string, std::map<std::string, double>> grid;
   std::set<std::string> models;
+  size_t data_rows = 0;
   for (const auto& row : *rows) {
-    if (row.size() != 12) continue;
+    // Skip comment rows (the "#crc32,<hex>" integrity footer); accept both
+    // the 12-column legacy layout and the 13-column (outcome) layout.
+    if (!row.empty() && !row[0].empty() && row[0][0] == '#') continue;
+    if (row.size() != 12 && row.size() != 13) continue;
     const std::string& key = row[0];
     if (key.find("|s0|") == std::string::npos) continue;  // seed-0 only
     if (StartsWith(key, "fig")) continue;  // skip sweep entries
-    grid[row[1]][row[2]] = std::atof(row[3].c_str());
+    double f1 = 0.0;
+    if (!ParseDouble(row[3], &f1)) continue;
+    ++data_rows;
+    grid[row[1]][row[2]] = f1;
     models.insert(row[2]);
   }
   std::string header = StrFormat("%-9s", "Dataset");
@@ -57,7 +64,7 @@ int Main() {
     }
     std::printf("%s\n", line.c_str());
   }
-  std::printf("\n(%zu cached results in %s)\n", rows->size(), path.c_str());
+  std::printf("\n(%zu cached results in %s)\n", data_rows, path.c_str());
   return 0;
 }
 
