@@ -3,20 +3,35 @@
 // the perf trajectory is tracked in-repo from the first optimization PR
 // onward. Run from the repo root:
 //
-//   ./build/bench/gemm_kernels
+//   ./build/bench/gemm_kernels             # GEMM suite -> BENCH_gemm.json
+//   ./build/bench/gemm_kernels --kernels   # per-kernel GF/s per SIMD tier
+//                                          #   -> BENCH_kernels.json
+//   ./build/bench/gemm_kernels --smoke     # run every dispatched kernel
+//                                          #   once per tier and exit (CI)
 //
-// writes google-benchmark JSON to BENCH_gemm.json (override with the
-// usual --benchmark_out=...). Thread counts sweep 1/2/4/8 regardless of
-// the host's core count — oversubscribed points are reported as-is, they
-// tell you what threading costs when the hardware can't back it.
+// (override the output with the usual --benchmark_out=...). Thread counts
+// sweep 1/2/4/8 regardless of the host's core count — oversubscribed
+// points are reported as-is, they tell you what threading costs when the
+// hardware can't back it.
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "la/buffer_pool.h"
+#include "la/init.h"
+#include "la/kernels.h"
 #include "la/matrix.h"
+#include "la/sparse.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/variable.h"
 
 namespace semtag::la {
 namespace {
@@ -143,24 +158,339 @@ void BM_Dot(benchmark::State& state) {
 }
 BENCHMARK(BM_Dot)->Arg(1024)->Arg(65536);
 
+// ---------------------------------------------------------------------------
+// Per-kernel suite (--kernels): GF/s (or elements/s) for each dispatched
+// kernel at every compiled-in SIMD tier, plus BufferPool allocations/step
+// for a transformer training step. Registered at runtime so only tiers the
+// host supports appear in BENCH_kernels.json.
+// ---------------------------------------------------------------------------
+
+std::vector<SimdLevel> AllAvailableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  for (SimdLevel level : {SimdLevel::kSse2, SimdLevel::kAvx2}) {
+    if (SimdLevelAvailable(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+/// One working set shared by every kernel benchmark: vectors long enough
+/// to stream (L2-resident), reinitialized per benchmark from a fixed seed.
+struct KernelBenchData {
+  static constexpr size_t kN = 16384;
+  static constexpr size_t kNnz = 1024;
+  Matrix a, b0, b1, b2, b3, out0, out1;
+  std::vector<SparseEntry> entries;
+
+  KernelBenchData() {
+    Rng rng(31);
+    a = RandomMatrix(1, kN, 41);
+    b0 = RandomMatrix(1, kN, 42);
+    b1 = RandomMatrix(1, kN, 43);
+    b2 = RandomMatrix(1, kN, 44);
+    b3 = RandomMatrix(1, kN, 45);
+    out0 = RandomMatrix(1, kN, 46);
+    out1 = RandomMatrix(1, kN, 47);
+    entries.resize(kNnz);
+    for (auto& e : entries) {
+      e.index = static_cast<uint32_t>(rng.Uniform(kN));
+      e.value = static_cast<float>(rng.Normal());
+    }
+  }
+};
+
+void SetRate(benchmark::State& state, const char* name, double per_iter) {
+  state.counters[name] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * per_iter,
+      benchmark::Counter::kIsRate);
+}
+
+void RegisterKernelBenches() {
+  constexpr size_t kN = KernelBenchData::kN;
+  constexpr size_t kNnz = KernelBenchData::kNnz;
+  for (SimdLevel level : AllAvailableLevels()) {
+    const KernelTable* kt = &KernelTableFor(level);
+    const std::string tier = std::string("/") + SimdLevelName(level);
+
+    benchmark::RegisterBenchmark(
+        ("Kernel_gemm_update4" + tier).c_str(),
+        [kt](benchmark::State& state) {
+          KernelBenchData d;
+          for (auto _ : state) {
+            kt->gemm_update4(d.out0.data(), d.b0.data(), d.b1.data(),
+                             d.b2.data(), d.b3.data(), 0.5f, -0.25f, 1.5f,
+                             -0.125f, kN);
+            benchmark::DoNotOptimize(d.out0.data());
+          }
+          SetRate(state, "flops", 8.0 * kN);
+        });
+
+    benchmark::RegisterBenchmark(
+        ("Kernel_gemm_update4x2" + tier).c_str(),
+        [kt](benchmark::State& state) {
+          KernelBenchData d;
+          const float a0[4] = {0.5f, -0.25f, 1.5f, -0.125f};
+          const float a1[4] = {1.0f, 0.75f, -0.5f, 0.25f};
+          for (auto _ : state) {
+            kt->gemm_update4x2(d.out0.data(), d.out1.data(), d.b0.data(),
+                               d.b1.data(), d.b2.data(), d.b3.data(), a0, a1,
+                               kN);
+            benchmark::DoNotOptimize(d.out0.data());
+          }
+          SetRate(state, "flops", 16.0 * kN);
+        });
+
+    benchmark::RegisterBenchmark(
+        ("Kernel_axpy" + tier).c_str(), [kt](benchmark::State& state) {
+          KernelBenchData d;
+          for (auto _ : state) {
+            kt->axpy(d.out0.data(), d.b0.data(), 1e-4f, kN);
+            benchmark::DoNotOptimize(d.out0.data());
+          }
+          SetRate(state, "flops", 2.0 * kN);
+        });
+
+    benchmark::RegisterBenchmark(
+        ("Kernel_dot" + tier).c_str(), [kt](benchmark::State& state) {
+          KernelBenchData d;
+          for (auto _ : state) {
+            float v = kt->dot(d.a.data(), d.b0.data(), kN);
+            benchmark::DoNotOptimize(v);
+          }
+          SetRate(state, "flops", 2.0 * kN);
+        });
+
+    benchmark::RegisterBenchmark(
+        ("Kernel_dot4" + tier).c_str(), [kt](benchmark::State& state) {
+          KernelBenchData d;
+          float out[4];
+          for (auto _ : state) {
+            kt->dot4(d.a.data(), d.b0.data(), d.b1.data(), d.b2.data(),
+                     d.b3.data(), kN, out);
+            benchmark::DoNotOptimize(out[0]);
+          }
+          SetRate(state, "flops", 8.0 * kN);
+        });
+
+    benchmark::RegisterBenchmark(
+        ("Kernel_softmax_row" + tier).c_str(),
+        [kt](benchmark::State& state) {
+          KernelBenchData d;
+          for (auto _ : state) {
+            std::memcpy(d.out0.data(), d.a.data(), kN * sizeof(float));
+            kt->softmax_row(d.out0.data(), kN);
+            benchmark::DoNotOptimize(d.out0.data());
+          }
+          SetRate(state, "elems", static_cast<double>(kN));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("Kernel_layernorm_row" + tier).c_str(),
+        [kt](benchmark::State& state) {
+          KernelBenchData d;
+          for (auto _ : state) {
+            float istd = kt->layernorm_row(d.out0.data(), d.a.data(), kN,
+                                           1e-5f);
+            benchmark::DoNotOptimize(istd);
+          }
+          SetRate(state, "elems", static_cast<double>(kN));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("Kernel_vexp" + tier).c_str(), [kt](benchmark::State& state) {
+          KernelBenchData d;
+          for (auto _ : state) {
+            std::memcpy(d.out0.data(), d.a.data(), kN * sizeof(float));
+            kt->vexp(d.out0.data(), kN);
+            benchmark::DoNotOptimize(d.out0.data());
+          }
+          SetRate(state, "elems", static_cast<double>(kN));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("Kernel_vtanh" + tier).c_str(), [kt](benchmark::State& state) {
+          KernelBenchData d;
+          for (auto _ : state) {
+            std::memcpy(d.out0.data(), d.a.data(), kN * sizeof(float));
+            kt->vtanh(d.out0.data(), kN);
+            benchmark::DoNotOptimize(d.out0.data());
+          }
+          SetRate(state, "elems", static_cast<double>(kN));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("Kernel_adam_update" + tier).c_str(),
+        [kt](benchmark::State& state) {
+          KernelBenchData d;
+          Matrix m = RandomMatrix(1, kN, 48);
+          Matrix v = RandomMatrix(1, kN, 49);
+          for (float* p = v.data(); p < v.data() + kN; ++p) {
+            *p = *p * *p;  // v must be non-negative
+          }
+          for (auto _ : state) {
+            kt->adam_update(d.out0.data(), d.b0.data(), m.data(), v.data(),
+                            kN, 1e-3f, 0.9f, 0.999f, 1e-8f, 0.1f, 0.001f);
+            benchmark::DoNotOptimize(d.out0.data());
+          }
+          SetRate(state, "elems", static_cast<double>(kN));
+        });
+
+    benchmark::RegisterBenchmark(
+        ("Kernel_sparse_dot" + tier).c_str(),
+        [kt](benchmark::State& state) {
+          KernelBenchData d;
+          for (auto _ : state) {
+            float v = kt->sparse_dot(d.entries.data(), kNnz, d.a.data());
+            benchmark::DoNotOptimize(v);
+          }
+          SetRate(state, "flops", 2.0 * kNnz);
+        });
+  }
+
+  // Allocations per training step: the zero-allocation acceptance metric,
+  // recorded alongside the kernel rates. Steady state (after a warm-up)
+  // must show allocs_per_step == 0.
+  benchmark::RegisterBenchmark(
+      "Kernel_TrainStepAllocs", [](benchmark::State& state) {
+        Rng rng(7);
+        nn::TransformerEncoderLayer layer(32, 4, 128, &rng);
+        Matrix x(20, 32);
+        GaussianInit(&x, &rng, 1.0f);
+        Matrix mask(20, 20);
+        std::vector<nn::Variable> params;
+        layer.CollectParameters(&params);
+        nn::Adam adam(params, 1e-3f);
+        auto step = [&] {
+          nn::Variable input(x, /*requires_grad=*/true);
+          nn::Variable out = layer.Forward(input, mask, 0.0, &rng, true);
+          nn::Backward(nn::SumToScalar(out));
+          adam.Step();
+        };
+        for (int i = 0; i < 3; ++i) step();  // warm the pool
+        const auto before = BufferPool::GetStats();
+        uint64_t steps = 0;
+        for (auto _ : state) {
+          step();
+          ++steps;
+        }
+        const auto after = BufferPool::GetStats();
+        const double inv_steps = steps > 0 ? 1.0 / static_cast<double>(steps)
+                                           : 0.0;
+        state.counters["allocs_per_step"] =
+            static_cast<double>(after.system_allocs - before.system_allocs) *
+            inv_steps;
+        state.counters["pool_hits_per_step"] =
+            static_cast<double>(after.pool_hits - before.pool_hits) *
+            inv_steps;
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Smoke mode (--smoke): call every entry of every compiled-in kernel table
+// once on tiny inputs. A crash or non-finite output fails CI; exit 0
+// otherwise. Cheap enough to run under every dispatch env setting.
+// ---------------------------------------------------------------------------
+
+int RunSmoke() {
+  std::printf("active SIMD level: %s\n",
+              SimdLevelName(ActiveSimdLevel()));
+  for (SimdLevel level : AllAvailableLevels()) {
+    const KernelTable& kt = KernelTableFor(level);
+    constexpr size_t kN = 37;  // odd: exercises every vector tail
+    Matrix a = RandomMatrix(1, kN, 51), b0 = RandomMatrix(1, kN, 52);
+    Matrix b1 = RandomMatrix(1, kN, 53), b2 = RandomMatrix(1, kN, 54);
+    Matrix b3 = RandomMatrix(1, kN, 55), out0 = RandomMatrix(1, kN, 56);
+    Matrix out1 = RandomMatrix(1, kN, 57);
+    Matrix m = RandomMatrix(1, kN, 58), v = RandomMatrix(1, kN, 59);
+    for (size_t i = 0; i < kN; ++i) v.data()[i] *= v.data()[i];
+    const float a0[4] = {0.5f, -0.25f, 1.5f, -0.125f};
+    const float a1[4] = {1.0f, 0.75f, -0.5f, 0.25f};
+    float d4[4];
+    std::vector<SparseEntry> entries(8);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      entries[i] = {static_cast<uint32_t>(i * 4), 0.5f};
+    }
+
+    kt.gemm_update4(out0.data(), b0.data(), b1.data(), b2.data(), b3.data(),
+                    a0[0], a0[1], a0[2], a0[3], kN);
+    kt.gemm_update4x2(out0.data(), out1.data(), b0.data(), b1.data(),
+                      b2.data(), b3.data(), a0, a1, kN);
+    kt.axpy(out0.data(), b0.data(), 0.5f, kN);
+    kt.dot4(a.data(), b0.data(), b1.data(), b2.data(), b3.data(), kN, d4);
+    float acc = kt.dot(a.data(), b0.data(), kN);
+    kt.scale(out0.data(), 0.99f, kN);
+    kt.vadd(out0.data(), b0.data(), kN);
+    kt.vsub(out0.data(), b1.data(), kN);
+    kt.hadamard(out0.data(), b2.data(), kN);
+    kt.vfill(out1.data(), 0.125f, kN);
+    acc += static_cast<float>(kt.sum(a.data(), kN));
+    acc += static_cast<float>(kt.sumsq(a.data(), kN));
+    acc += kt.vmax(a.data(), kN) + kt.vmin(a.data(), kN);
+    kt.softmax_row(out0.data(), kN);
+    acc += kt.layernorm_row(out1.data(), a.data(), kN, 1e-5f);
+    kt.vexp(out0.data(), kN);
+    kt.vtanh(out0.data(), kN);
+    kt.vsigmoid(out0.data(), kN);
+    kt.vrelu(out0.data(), kN);
+    kt.vgelu(out0.data(), kN);
+    acc += kt.sparse_dot(entries.data(), entries.size(), a.data());
+    kt.sparse_axpy(entries.data(), entries.size(), 0.5f, out1.data());
+    kt.adam_update(out1.data(), b0.data(), m.data(), v.data(), kN, 1e-3f,
+                   0.9f, 0.999f, 1e-8f, 0.1f, 0.001f);
+
+    bool finite = std::isfinite(acc);
+    for (size_t i = 0; i < kN && finite; ++i) {
+      finite = std::isfinite(out0.data()[i]) && std::isfinite(out1.data()[i]);
+    }
+    if (!finite) {
+      std::printf("tier %s: FAILED (non-finite output)\n",
+                  SimdLevelName(level));
+      return 1;
+    }
+    std::printf("tier %s: ok\n", SimdLevelName(level));
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace semtag::la
 
 int main(int argc, char** argv) {
-  // Default the JSON dump to BENCH_gemm.json so a bare run from the repo
-  // root refreshes the tracked results file; any explicit
-  // --benchmark_out=... wins.
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
+  // Mode flags (consumed here, not passed to google-benchmark):
+  //   --smoke    run every kernel once per tier, exit
+  //   --kernels  per-kernel suite -> BENCH_kernels.json
+  // A bare run keeps the BM_* GEMM suite -> BENCH_gemm.json, so the
+  // tracked file stays comparable across PRs. Any explicit
+  // --benchmark_out= / --benchmark_filter= wins over the defaults.
+  bool smoke = false, kernels = false, has_out = false, has_filter = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--kernels") == 0) {
+      kernels = true;
+      continue;
+    }
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0) {
+      has_filter = true;
+    }
+    args.push_back(argv[i]);
   }
-  std::vector<char*> args(argv, argv + argc);
-  char default_out[] = "--benchmark_out=BENCH_gemm.json";
+  if (smoke) return semtag::la::RunSmoke();
+  if (kernels) semtag::la::RegisterKernelBenches();
+
+  char gemm_out[] = "--benchmark_out=BENCH_gemm.json";
+  char kernels_out[] = "--benchmark_out=BENCH_kernels.json";
   char default_fmt[] = "--benchmark_out_format=json";
+  char gemm_filter[] = "--benchmark_filter=^BM_";
+  char kernels_filter[] = "--benchmark_filter=^Kernel_";
   if (!has_out) {
-    args.push_back(default_out);
+    args.push_back(kernels ? kernels_out : gemm_out);
     args.push_back(default_fmt);
   }
+  if (!has_filter) args.push_back(kernels ? kernels_filter : gemm_filter);
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
   benchmark::RunSpecifiedBenchmarks();

@@ -8,14 +8,19 @@
 #include "common/logging.h"
 #include "data/generator.h"
 #include "data/specs.h"
+#include "models/deep/mini_bert.h"
 #include "models/deep/text_cnn.h"
 #include "models/deep/text_lstm.h"
 #include "models/simple/linear_svm.h"
 #include "models/simple/logistic_regression.h"
+#include "la/buffer_pool.h"
 #include "la/init.h"
 #include "nn/layers.h"
+#include "nn/ops.h"
 #include "nn/optimizer.h"
 #include "text/bow_vectorizer.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
 
 namespace semtag {
 namespace {
@@ -111,6 +116,18 @@ void BM_TrainTextLstmEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainTextLstmEpoch)->Iterations(1);
 
+/// Attaches BufferPool allocations/step counters to a training-step
+/// benchmark. In steady state (pool warm) allocs_per_step must be 0.
+void SetPoolCounters(benchmark::State& state,
+                     const la::BufferPool::Stats& before, uint64_t steps) {
+  const auto after = la::BufferPool::GetStats();
+  const double inv = steps > 0 ? 1.0 / static_cast<double>(steps) : 0.0;
+  state.counters["allocs_per_step"] =
+      static_cast<double>(after.system_allocs - before.system_allocs) * inv;
+  state.counters["pool_hits_per_step"] =
+      static_cast<double>(after.pool_hits - before.pool_hits) * inv;
+}
+
 void BM_TransformerLayerForwardBackward(benchmark::State& state) {
   Rng rng(7);
   nn::TransformerEncoderLayer layer(32, 4, 128, &rng);
@@ -120,14 +137,62 @@ void BM_TransformerLayerForwardBackward(benchmark::State& state) {
   std::vector<nn::Variable> params;
   layer.CollectParameters(&params);
   nn::Adam adam(params, 1e-3f);
-  for (auto _ : state) {
+  auto step = [&] {
     nn::Variable input(x, /*requires_grad=*/true);
     nn::Variable out = layer.Forward(input, mask, 0.0, &rng, true);
     nn::Backward(nn::SumToScalar(out));
     adam.Step();
+  };
+  for (int i = 0; i < 3; ++i) step();  // warm the buffer pool
+  const auto before = la::BufferPool::GetStats();
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    step();
+    ++steps;
   }
+  SetPoolCounters(state, before, steps);
 }
 BENCHMARK(BM_TransformerLayerForwardBackward);
+
+void BM_MiniBertTrainStep(benchmark::State& state) {
+  // A full mini_bert fine-tuning step: encode -> mean-pool -> linear head
+  // -> softmax cross-entropy -> backward -> Adam. The end-to-end number
+  // behind the kernel-layer speedup claim.
+  models::BertConfig config;
+  config.layers = 2;
+  text::VocabularyBuilder builder;
+  const data::Dataset d = BenchDataset(64);
+  for (const auto& text : d.Texts()) {
+    builder.AddDocument(text::Tokenize(text));
+  }
+  models::MiniBertBackbone bert(config, builder.Build(1, 4000));
+
+  Rng rng(7);
+  nn::Variable head(la::Matrix(config.dim, 2), /*requires_grad=*/true);
+  la::GaussianInit(&head.mutable_value(), &rng, 0.05f);
+  std::vector<nn::Variable> params = bert.Parameters();
+  params.push_back(head);
+  nn::Adam adam(params, 1e-4f);
+
+  const std::vector<int32_t> ids = bert.EncodeIds(d[0].text);
+  const std::vector<int32_t> labels = {1};
+  auto step = [&] {
+    nn::Variable hidden = bert.Encode(ids, &rng, /*training=*/true);
+    nn::Variable pooled = nn::MeanRows(hidden);
+    nn::Variable logits = nn::MatMul(pooled, head);
+    nn::Backward(nn::SoftmaxCrossEntropy(logits, labels));
+    adam.Step();
+  };
+  for (int i = 0; i < 3; ++i) step();  // warm the buffer pool
+  const auto before = la::BufferPool::GetStats();
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    step();
+    ++steps;
+  }
+  SetPoolCounters(state, before, steps);
+}
+BENCHMARK(BM_MiniBertTrainStep);
 
 }  // namespace
 }  // namespace semtag

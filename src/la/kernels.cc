@@ -1,0 +1,157 @@
+#include "la/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "la/kernels_internal.h"
+
+namespace semtag::la {
+
+namespace {
+
+using kernel_detail::ScalarTable;
+
+bool CompiledIn(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse2:
+#if defined(SEMTAG_LA_HAVE_SSE2)
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx2:
+#if defined(SEMTAG_LA_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool CpuSupports(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("sse2") != 0;
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Parses SEMTAG_SIMD. Returns true and sets *out when the variable is set
+/// to a recognized name; unknown values warn and are ignored.
+bool ParseSimdEnv(SimdLevel* out) {
+  const char* env = std::getenv("SEMTAG_SIMD");
+  if (env == nullptr || env[0] == '\0') return false;
+  if (std::strcmp(env, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(env, "sse2") == 0) {
+    *out = SimdLevel::kSse2;
+    return true;
+  }
+  if (std::strcmp(env, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+    return true;
+  }
+  SEMTAG_LOG(kWarning, "SEMTAG_SIMD=%s not recognized (want avx2|sse2|scalar); using auto-detect", env);
+  return false;
+}
+
+SimdLevel ClampToAvailable(SimdLevel want) {
+  SimdLevel level = want;
+  while (level != SimdLevel::kScalar && !SimdLevelAvailable(level)) {
+    level = static_cast<SimdLevel>(static_cast<int>(level) - 1);
+  }
+  if (level != want) {
+    SEMTAG_LOG(kWarning, "SIMD level %s unavailable on this build/CPU; falling back to %s",
+               SimdLevelName(want), SimdLevelName(level));
+  }
+  return level;
+}
+
+SimdLevel SelectLevel() {
+  SimdLevel want;
+  if (ParseSimdEnv(&want)) return ClampToAvailable(want);
+  return BestSupportedSimdLevel();
+}
+
+const KernelTable& TableForUnchecked(SimdLevel level) {
+  switch (level) {
+#if defined(SEMTAG_LA_HAVE_AVX2)
+    case SimdLevel::kAvx2:
+      return kernel_detail::Avx2Table();
+#endif
+#if defined(SEMTAG_LA_HAVE_SSE2)
+    case SimdLevel::kSse2:
+      return kernel_detail::Sse2Table();
+#endif
+    default:
+      return ScalarTable();
+  }
+}
+
+const KernelTable& SelectedTable() {
+  static const KernelTable* table = [] {
+    const SimdLevel level = SelectLevel();
+    SEMTAG_LOG(kDebug, "kernel dispatch: %s (best supported: %s)",
+               SimdLevelName(level), SimdLevelName(BestSupportedSimdLevel()));
+    return &TableForUnchecked(level);
+  }();
+  return *table;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const KernelTable& Kernels() { return SelectedTable(); }
+
+SimdLevel ActiveSimdLevel() { return SelectedTable().level; }
+
+SimdLevel BestSupportedSimdLevel() {
+  static const SimdLevel best = [] {
+    for (SimdLevel level : {SimdLevel::kAvx2, SimdLevel::kSse2}) {
+      if (CompiledIn(level) && CpuSupports(level)) return level;
+    }
+    return SimdLevel::kScalar;
+  }();
+  return best;
+}
+
+bool SimdLevelAvailable(SimdLevel level) {
+  return CompiledIn(level) && CpuSupports(level);
+}
+
+const KernelTable& KernelTableFor(SimdLevel level) {
+  SEMTAG_CHECK(SimdLevelAvailable(level));
+  return TableForUnchecked(level);
+}
+
+}  // namespace semtag::la

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "la/buffer_pool.h"
+#include "la/kernels.h"
 
 namespace semtag::la {
 
@@ -14,10 +17,12 @@ namespace {
 /// only; pool dispatch costs more than it saves on tiny shapes.
 constexpr size_t kParallelMinWork = size_t{64} * 64 * 64;
 
-/// Rows of the k-panel kept hot across an output-row sweep. 64 rows x
-/// kBlockN cols of B is 64KB at kBlockN=256 — L2-resident, with the
-/// active 4-row slice in L1.
-constexpr size_t kBlockK = 64;
+/// Rows of the k-panel kept hot across an output-row sweep. 32 rows x
+/// kBlockN cols of B is 32KB at kBlockN=256 — one L1's worth, so the
+/// panel stays resident while the two-row micro-kernel sweeps it.
+/// Retuned for the AVX2 kernels (the scalar-era 64 left the panel
+/// L2-resident and cost ~15% at 256^3).
+constexpr size_t kBlockK = 32;
 
 /// Output-row segment width per inner sweep; one out row segment plus four
 /// B row segments stay in L1.
@@ -33,6 +38,70 @@ bool WorthParallel(size_t m, size_t n, size_t k) {
 
 }  // namespace
 
+void Matrix::AllocateUninitialized(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  size_ = rows * cols;
+  cap_ = BufferPool::BucketFloats(size_);
+  data_ = BufferPool::Acquire(size_);
+}
+
+void Matrix::ReleaseStorage() {
+  BufferPool::Release(data_, cap_);
+  data_ = nullptr;
+  cap_ = 0;
+}
+
+Matrix::Matrix(size_t rows, size_t cols, float fill) {
+  AllocateUninitialized(rows, cols);
+  if (size_ != 0) Kernels().vfill(data_, fill, size_);
+}
+
+Matrix::Matrix(const Matrix& other) {
+  AllocateUninitialized(other.rows_, other.cols_);
+  if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  const size_t need = BufferPool::BucketFloats(other.size_);
+  if (need != cap_) {
+    ReleaseStorage();
+    cap_ = need;
+    data_ = BufferPool::Acquire(other.size_);
+  }
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  size_ = other.size_;
+  if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+  return *this;
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      size_(other.size_),
+      cap_(other.cap_),
+      data_(other.data_) {
+  other.rows_ = other.cols_ = other.size_ = other.cap_ = 0;
+  other.data_ = nullptr;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseStorage();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  size_ = other.size_;
+  cap_ = other.cap_;
+  data_ = other.data_;
+  other.rows_ = other.cols_ = other.size_ = other.cap_ = 0;
+  other.data_ = nullptr;
+  return *this;
+}
+
+Matrix::~Matrix() { ReleaseStorage(); }
+
 Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
   if (rows.empty()) return Matrix();
   Matrix m(rows.size(), rows[0].size());
@@ -43,54 +112,46 @@ Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
   return m;
 }
 
-void Matrix::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
-}
+void Matrix::Fill(float value) { Kernels().vfill(data_, value, size_); }
 
 void Matrix::Add(const Matrix& other) {
   SEMTAG_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  Kernels().vadd(data_, other.data_, size_);
 }
 
 void Matrix::Sub(const Matrix& other) {
   SEMTAG_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  Kernels().vsub(data_, other.data_, size_);
 }
 
 void Matrix::Mul(const Matrix& other) {
   SEMTAG_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  Kernels().hadamard(data_, other.data_, size_);
 }
 
-void Matrix::Scale(float s) {
-  for (auto& x : data_) x *= s;
-}
+void Matrix::Scale(float s) { Kernels().scale(data_, s, size_); }
 
 void Matrix::Axpy(float s, const Matrix& other) {
   SEMTAG_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  Kernels().axpy(data_, other.data_, s, size_);
 }
 
 float Matrix::Sum() const {
-  double acc = 0.0;
-  for (float x : data_) acc += x;
-  return static_cast<float>(acc);
+  return static_cast<float>(Kernels().sum(data_, size_));
 }
 
 float Matrix::Min() const {
-  SEMTAG_CHECK(!data_.empty());
-  return *std::min_element(data_.begin(), data_.end());
+  SEMTAG_CHECK(size_ != 0);
+  return Kernels().vmin(data_, size_);
 }
 
 float Matrix::Max() const {
-  SEMTAG_CHECK(!data_.empty());
-  return *std::max_element(data_.begin(), data_.end());
+  SEMTAG_CHECK(size_ != 0);
+  return Kernels().vmax(data_, size_);
 }
 
 float Matrix::Norm() const {
-  double acc = 0.0;
-  for (float x : data_) acc += static_cast<double>(x) * x;
-  return static_cast<float>(std::sqrt(acc));
+  return static_cast<float>(std::sqrt(Kernels().sumsq(data_, size_)));
 }
 
 Matrix Matrix::Transposed() const {
@@ -130,7 +191,9 @@ namespace {
 // All three GEMM kernels compute output rows [i0, i1) and the parallel
 // split is always by output row, so each element is produced by exactly
 // one fn call with a thread-count-independent operation order — parallel
-// results are bit-identical to sequential ones.
+// results are bit-identical to sequential ones. The inner loops are the
+// dispatched SIMD kernels (la/kernels.h); with SEMTAG_SIMD=scalar they are
+// the seed loops verbatim.
 
 /// Core of MatMul: out rows [i0, i1) of a[m,k] * b[k,n]. Blocked over
 /// (j, k) so the B panel is reused across the whole row range, with the
@@ -138,30 +201,48 @@ namespace {
 /// four B rows, cutting store traffic 4x versus the rank-1 ikj update.
 void MatMulRows(const Matrix& a, const Matrix& b, Matrix* out, size_t i0,
                 size_t i1) {
+  const KernelTable& kr = Kernels();
   const size_t k = a.cols(), n = b.cols();
   for (size_t jj = 0; jj < n; jj += kBlockN) {
     const size_t jend = std::min(jj + kBlockN, n);
+    const size_t jlen = jend - jj;
     for (size_t kk0 = 0; kk0 < k; kk0 += kBlockK) {
       const size_t kend = std::min(kk0 + kBlockK, k);
-      for (size_t i = i0; i < i1; ++i) {
+      // Output rows go in pairs through the two-row micro-kernel so each
+      // loaded B segment feeds both rows (halves B-panel traffic); each
+      // row's element-level accumulation order is unchanged.
+      size_t i = i0;
+      for (; i + 2 <= i1; i += 2) {
+        const float* arow0 = a.Row(i);
+        const float* arow1 = a.Row(i + 1);
+        float* orow0 = out->Row(i);
+        float* orow1 = out->Row(i + 1);
+        size_t kk = kk0;
+        for (; kk + 4 <= kend; kk += 4) {
+          const float a0[4] = {arow0[kk], arow0[kk + 1], arow0[kk + 2],
+                               arow0[kk + 3]};
+          const float a1[4] = {arow1[kk], arow1[kk + 1], arow1[kk + 2],
+                               arow1[kk + 3]};
+          kr.gemm_update4x2(orow0 + jj, orow1 + jj, b.Row(kk) + jj,
+                            b.Row(kk + 1) + jj, b.Row(kk + 2) + jj,
+                            b.Row(kk + 3) + jj, a0, a1, jlen);
+        }
+        for (; kk < kend; ++kk) {
+          kr.axpy(orow0 + jj, b.Row(kk) + jj, arow0[kk], jlen);
+          kr.axpy(orow1 + jj, b.Row(kk) + jj, arow1[kk], jlen);
+        }
+      }
+      for (; i < i1; ++i) {
         const float* arow = a.Row(i);
         float* orow = out->Row(i);
         size_t kk = kk0;
         for (; kk + 4 <= kend; kk += 4) {
-          const float a0 = arow[kk], a1 = arow[kk + 1];
-          const float a2 = arow[kk + 2], a3 = arow[kk + 3];
-          const float* b0 = b.Row(kk);
-          const float* b1 = b.Row(kk + 1);
-          const float* b2 = b.Row(kk + 2);
-          const float* b3 = b.Row(kk + 3);
-          for (size_t j = jj; j < jend; ++j) {
-            orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-          }
+          kr.gemm_update4(orow + jj, b.Row(kk) + jj, b.Row(kk + 1) + jj,
+                          b.Row(kk + 2) + jj, b.Row(kk + 3) + jj, arow[kk],
+                          arow[kk + 1], arow[kk + 2], arow[kk + 3], jlen);
         }
         for (; kk < kend; ++kk) {
-          const float av = arow[kk];
-          const float* brow = b.Row(kk);
-          for (size_t j = jj; j < jend; ++j) orow[j] += av * brow[j];
+          kr.axpy(orow + jj, b.Row(kk) + jj, arow[kk], jlen);
         }
       }
     }
@@ -175,29 +256,42 @@ void MatMulRows(const Matrix& a, const Matrix& b, Matrix* out, size_t i0,
 /// amortized n-fold.
 void MatMulTransARows(const Matrix& a, const Matrix& b, Matrix* out,
                       size_t i0, size_t i1) {
+  const KernelTable& kr = Kernels();
   const size_t k = a.rows(), n = b.cols();
   for (size_t jj = 0; jj < n; jj += kBlockN) {
     const size_t jend = std::min(jj + kBlockN, n);
+    const size_t jlen = jend - jj;
     for (size_t kk0 = 0; kk0 < k; kk0 += kBlockK) {
       const size_t kend = std::min(kk0 + kBlockK, k);
-      for (size_t i = i0; i < i1; ++i) {
+      size_t i = i0;
+      for (; i + 2 <= i1; i += 2) {
+        float* orow0 = out->Row(i);
+        float* orow1 = out->Row(i + 1);
+        size_t kk = kk0;
+        for (; kk + 4 <= kend; kk += 4) {
+          const float a0[4] = {a(kk, i), a(kk + 1, i), a(kk + 2, i),
+                               a(kk + 3, i)};
+          const float a1[4] = {a(kk, i + 1), a(kk + 1, i + 1),
+                               a(kk + 2, i + 1), a(kk + 3, i + 1)};
+          kr.gemm_update4x2(orow0 + jj, orow1 + jj, b.Row(kk) + jj,
+                            b.Row(kk + 1) + jj, b.Row(kk + 2) + jj,
+                            b.Row(kk + 3) + jj, a0, a1, jlen);
+        }
+        for (; kk < kend; ++kk) {
+          kr.axpy(orow0 + jj, b.Row(kk) + jj, a(kk, i), jlen);
+          kr.axpy(orow1 + jj, b.Row(kk) + jj, a(kk, i + 1), jlen);
+        }
+      }
+      for (; i < i1; ++i) {
         float* orow = out->Row(i);
         size_t kk = kk0;
         for (; kk + 4 <= kend; kk += 4) {
-          const float a0 = a(kk, i), a1 = a(kk + 1, i);
-          const float a2 = a(kk + 2, i), a3 = a(kk + 3, i);
-          const float* b0 = b.Row(kk);
-          const float* b1 = b.Row(kk + 1);
-          const float* b2 = b.Row(kk + 2);
-          const float* b3 = b.Row(kk + 3);
-          for (size_t j = jj; j < jend; ++j) {
-            orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-          }
+          kr.gemm_update4(orow + jj, b.Row(kk) + jj, b.Row(kk + 1) + jj,
+                          b.Row(kk + 2) + jj, b.Row(kk + 3) + jj, a(kk, i),
+                          a(kk + 1, i), a(kk + 2, i), a(kk + 3, i), jlen);
         }
         for (; kk < kend; ++kk) {
-          const float av = a(kk, i);
-          const float* brow = b.Row(kk);
-          for (size_t j = jj; j < jend; ++j) orow[j] += av * brow[j];
+          kr.axpy(orow + jj, b.Row(kk) + jj, a(kk, i), jlen);
         }
       }
     }
@@ -205,34 +299,21 @@ void MatMulTransARows(const Matrix& a, const Matrix& b, Matrix* out,
 }
 
 /// Core of MatMulTransB: out rows [i0, i1) of a[m,k] * b^T with b stored
-/// [n, k]. Row-by-row dot products, unrolled 4 output columns wide so each
+/// [n, k]. Row-by-row dot products, four output columns at a time so each
 /// loaded A element feeds four independent accumulators (B rows j..j+3).
 void MatMulTransBRows(const Matrix& a, const Matrix& b, Matrix* out,
                       size_t i0, size_t i1) {
+  const KernelTable& kr = Kernels();
   const size_t k = a.cols(), n = b.rows();
   for (size_t i = i0; i < i1; ++i) {
     const float* arow = a.Row(i);
     float* orow = out->Row(i);
     size_t j = 0;
     for (; j + 4 <= n; j += 4) {
-      const float* b0 = b.Row(j);
-      const float* b1 = b.Row(j + 1);
-      const float* b2 = b.Row(j + 2);
-      const float* b3 = b.Row(j + 3);
-      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-      for (size_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        acc0 += av * b0[kk];
-        acc1 += av * b1[kk];
-        acc2 += av * b2[kk];
-        acc3 += av * b3[kk];
-      }
-      orow[j] = acc0;
-      orow[j + 1] = acc1;
-      orow[j + 2] = acc2;
-      orow[j + 3] = acc3;
+      kr.dot4(arow, b.Row(j), b.Row(j + 1), b.Row(j + 2), b.Row(j + 3), k,
+              orow + j);
     }
-    for (; j < n; ++j) orow[j] = Dot(arow, b.Row(j), k);
+    for (; j < n; ++j) orow[j] = kr.dot(arow, b.Row(j), k);
   }
 }
 
@@ -278,36 +359,23 @@ void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
 
 void AddRowBroadcast(Matrix* m, const Matrix& row) {
   SEMTAG_CHECK(row.rows() == 1 && row.cols() == m->cols());
+  const KernelTable& kr = Kernels();
   for (size_t r = 0; r < m->rows(); ++r) {
-    float* mrow = m->Row(r);
-    const float* rrow = row.Row(0);
-    for (size_t c = 0; c < m->cols(); ++c) mrow[c] += rrow[c];
+    kr.vadd(m->Row(r), row.Row(0), m->cols());
   }
 }
 
 Matrix SumRows(const Matrix& m) {
   Matrix out(1, m.cols());
+  const KernelTable& kr = Kernels();
   for (size_t r = 0; r < m.rows(); ++r) {
-    const float* row = m.Row(r);
-    float* orow = out.Row(0);
-    for (size_t c = 0; c < m.cols(); ++c) orow[c] += row[c];
+    kr.vadd(out.Row(0), m.Row(r), m.cols());
   }
   return out;
 }
 
 float Dot(const float* a, const float* b, size_t n) {
-  // Four independent accumulators break the loop-carried add dependency
-  // (fp add latency would otherwise serialize every iteration).
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) acc0 += a[i] * b[i];
-  return (acc0 + acc1) + (acc2 + acc3);
+  return Kernels().dot(a, b, n);
 }
 
 }  // namespace semtag::la

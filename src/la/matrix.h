@@ -13,26 +13,40 @@ namespace semtag::la {
 /// neural-network substrate; it is deliberately small and cache-friendly
 /// rather than general (2-D only, float32 only).
 ///
+/// Storage is drawn from la::BufferPool (32-byte aligned, size-bucketed
+/// free lists), so steady-state construction/destruction in a training
+/// loop recycles buffers instead of hitting the system allocator. All
+/// elementwise ops, reductions, and the GEMM inner loops route through the
+/// dispatched SIMD kernel table (la/kernels.h).
+///
 /// A 1-D vector is represented as a 1xN or Nx1 matrix; the autograd layer
 /// treats shape explicitly so no implicit broadcasting happens here except
 /// in the *RowBroadcast helpers.
 class Matrix {
  public:
-  Matrix() : rows_(0), cols_(0) {}
-  Matrix(size_t rows, size_t cols, float fill = 0.0f)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix() : rows_(0), cols_(0), size_(0), cap_(0), data_(nullptr) {}
+  Matrix(size_t rows, size_t cols, float fill = 0.0f);
+
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(Matrix&& other) noexcept;
+  ~Matrix();
 
   /// Builds from nested initializer data (test convenience).
   static Matrix FromRows(const std::vector<std::vector<float>>& rows);
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
-  size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
+  /// Bounds-checked access. Policy: boundary code (reading a logit or a
+  /// loss out of a model, test assertions) uses At; hot loops use the
+  /// unchecked operator() or raw Row() pointers.
   float& At(size_t r, size_t c) {
     SEMTAG_CHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
@@ -45,8 +59,8 @@ class Matrix {
   float& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
   float operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 
-  float* Row(size_t r) { return data_.data() + r * cols_; }
-  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+  float* Row(size_t r) { return data_ + r * cols_; }
+  const float* Row(size_t r) const { return data_ + r * cols_; }
 
   /// Sets every element to `value`.
   void Fill(float value);
@@ -77,9 +91,15 @@ class Matrix {
   std::string ToString() const;
 
  private:
+  /// Pool-allocates for rows x cols; contents uninitialized.
+  void AllocateUninitialized(size_t rows, size_t cols);
+  void ReleaseStorage();
+
   size_t rows_;
   size_t cols_;
-  std::vector<float> data_;
+  size_t size_;
+  size_t cap_;  ///< pool bucket capacity in floats (>= size_)
+  float* data_;
 };
 
 /// out = a * b. Shapes must agree ([m,k]x[k,n] -> [m,n]); `out` is resized.

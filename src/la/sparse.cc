@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/kernels.h"
+
 namespace semtag::la {
 
 void SparseVector::SortAndMerge() {
@@ -37,13 +39,11 @@ void SparseVector::L2Normalize() {
 }
 
 float SparseVector::Dot(const float* dense) const {
-  float acc = 0.0f;
-  for (const auto& e : entries_) acc += e.value * dense[e.index];
-  return acc;
+  return Kernels().sparse_dot(entries_.data(), entries_.size(), dense);
 }
 
 void SparseVector::AxpyInto(float s, float* dense) const {
-  for (const auto& e : entries_) dense[e.index] += s * e.value;
+  Kernels().sparse_axpy(entries_.data(), entries_.size(), s, dense);
 }
 
 size_t SparseMatrix::TotalNnz() const {

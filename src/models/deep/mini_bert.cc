@@ -150,11 +150,11 @@ PretrainStats MiniBertBackbone::Pretrain(
       nn::Variable logits = nn::AddRowBroadcast(
           nn::MatMulBT(picked, token_embedding_->table()), mlm_bias_);
       nn::Variable loss = nn::SoftmaxCrossEntropy(logits, targets);
-      loss_acc += loss.value()(0, 0);
+      loss_acc += loss.value().At(0, 0);
       ++loss_count;
       nn::Backward(loss);
       if (++in_batch >= options.batch_size) {
-        const Status st = guard.Step(loss.value()(0, 0));
+        const Status st = guard.Step(loss.value().At(0, 0));
         if (!st.ok()) {
           // Pretraining has no Status channel; stop on the last-good
           // snapshot (finite weights) rather than emitting garbage.
@@ -254,7 +254,7 @@ Status MiniBert::Train(const data::Dataset& train_full) {
           nn::SoftmaxCrossEntropy(logits, {labels[i]});
       nn::Backward(loss);
       if (++in_batch >= options_.batch_size) {
-        train_status = guard.Step(loss.value()(0, 0));
+        train_status = guard.Step(loss.value().At(0, 0));
         if (!train_status.ok()) break;
         in_batch = 0;
       }
@@ -276,8 +276,8 @@ double MiniBert::Score(std::string_view text) const {
   nn::Variable hidden = backbone_->Encode(ids, &rng_, /*training=*/false);
   nn::Variable cls = nn::SliceRows(hidden, 0, 1);
   nn::Variable logits = cls_head_->Forward(cls);
-  const float a = logits.value()(0, 0);
-  const float b = logits.value()(0, 1);
+  const float a = logits.value().At(0, 0);
+  const float b = logits.value().At(0, 1);
   // Softmax over two logits = sigmoid of their difference.
   return 1.0 / (1.0 + std::exp(static_cast<double>(a - b)));
 }

@@ -84,7 +84,7 @@ Status TextLstm::Train(const data::Dataset& train_full) {
       nn::Variable loss = nn::SoftmaxCrossEntropy(logits, {labels[i]});
       nn::Backward(loss);
       if (++in_batch >= options_.batch_size) {
-        train_status = guard.Step(loss.value()(0, 0));
+        train_status = guard.Step(loss.value().At(0, 0));
         if (!train_status.ok()) break;
         in_batch = 0;
       }
@@ -112,8 +112,8 @@ nn::Variable TextLstm::Logits(const std::vector<int32_t>& ids,
 double TextLstm::Score(std::string_view text) const {
   SEMTAG_CHECK(trained_);
   nn::Variable logits = Logits(encoder_.Encode(text), /*training=*/false);
-  const float a = logits.value()(0, 0);
-  const float b = logits.value()(0, 1);
+  const float a = logits.value().At(0, 0);
+  const float b = logits.value().At(0, 1);
   return 1.0 / (1.0 + std::exp(static_cast<double>(a - b)));
 }
 

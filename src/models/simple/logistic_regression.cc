@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "la/kernels.h"
 #include "nn/schedule.h"
 
 namespace semtag::models {
@@ -48,7 +49,7 @@ Status LogisticRegression::Train(const data::Dataset& train) {
           1.0 - options_.l2 * options_.learning_rate *
                     static_cast<double>(x.rows()) /
                     (1.0 + options_.lr_decay * t));
-      for (auto& w : weights_) w *= shrink;
+      la::Kernels().scale(weights_.data(), shrink, weights_.size());
     }
   }
   trained_ = true;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "la/kernels.h"
 
 namespace semtag::nn {
 
@@ -138,9 +139,7 @@ Variable AddRowBroadcast(const Variable& x, const Variable& row) {
 
 Variable Sigmoid(const Variable& a) {
   la::Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
-  }
+  la::Kernels().vsigmoid(out.data(), out.size());
   return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
     if (!Wants(n, 0)) return;
     la::Matrix* pg = n->parents[0]->EnsureGrad();
@@ -153,9 +152,7 @@ Variable Sigmoid(const Variable& a) {
 
 Variable Tanh(const Variable& a) {
   la::Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::tanh(out.data()[i]);
-  }
+  la::Kernels().vtanh(out.data(), out.size());
   return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
     if (!Wants(n, 0)) return;
     la::Matrix* pg = n->parents[0]->EnsureGrad();
@@ -168,9 +165,7 @@ Variable Tanh(const Variable& a) {
 
 Variable Relu(const Variable& a) {
   la::Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
-  }
+  la::Kernels().vrelu(out.data(), out.size());
   return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
     if (!Wants(n, 0)) return;
     la::Matrix* pg = n->parents[0]->EnsureGrad();
@@ -185,10 +180,7 @@ Variable Gelu(const Variable& a) {
   constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
   constexpr float kA = 0.044715f;
   la::Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    const float x = out.data()[i];
-    out.data()[i] = 0.5f * x * (1.0f + std::tanh(kC * (x + kA * x * x * x)));
-  }
+  la::Kernels().vgelu(out.data(), out.size());
   return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
     if (!Wants(n, 0)) return;
     la::Matrix* pg = n->parents[0]->EnsureGrad();
@@ -207,17 +199,9 @@ Variable Gelu(const Variable& a) {
 
 Variable RowSoftmax(const Variable& a) {
   la::Matrix out = a.value();
+  const la::KernelTable& kr = la::Kernels();
   for (size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.Row(r);
-    float mx = row[0];
-    for (size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
-    float sum = 0.0f;
-    for (size_t c = 0; c < out.cols(); ++c) {
-      row[c] = std::exp(row[c] - mx);
-      sum += row[c];
-    }
-    const float inv = 1.0f / sum;
-    for (size_t c = 0; c < out.cols(); ++c) row[c] *= inv;
+    kr.softmax_row(out.Row(r), out.cols());
   }
   return MakeOpNode(std::move(out), Parents({&a}), [](Node* n) {
     if (!Wants(n, 0)) return;
@@ -467,28 +451,16 @@ Variable LayerNorm(const Variable& x, const Variable& gain,
   SEMTAG_CHECK(bias.rows() == 1 && bias.cols() == C);
   la::Matrix normalized(x.rows(), C);
   std::vector<float> inv_std(x.rows());
+  const la::KernelTable& kr = la::Kernels();
   for (size_t r = 0; r < x.rows(); ++r) {
-    const float* row = x.value().Row(r);
-    float mean = 0.0f;
-    for (size_t c = 0; c < C; ++c) mean += row[c];
-    mean /= static_cast<float>(C);
-    float var = 0.0f;
-    for (size_t c = 0; c < C; ++c) {
-      const float dxc = row[c] - mean;
-      var += dxc * dxc;
-    }
-    var /= static_cast<float>(C);
-    const float istd = 1.0f / std::sqrt(var + eps);
-    inv_std[r] = istd;
-    float* nrow = normalized.Row(r);
-    for (size_t c = 0; c < C; ++c) nrow[c] = (row[c] - mean) * istd;
+    inv_std[r] = kr.layernorm_row(normalized.Row(r), x.value().Row(r), C, eps);
   }
   la::Matrix out = normalized;
   for (size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.Row(r);
-    const float* grow = gain.value().Row(0);
-    const float* brow = bias.value().Row(0);
-    for (size_t c = 0; c < C; ++c) row[c] = row[c] * grow[c] + brow[c];
+    // out = normalized * gain + bias, rowwise (mul then add — identical
+    // rounding to the former fused expression on non-FMA codegen).
+    kr.hadamard(out.Row(r), gain.value().Row(0), C);
+    kr.vadd(out.Row(r), bias.value().Row(0), C);
   }
   return MakeOpNode(
       std::move(out), Parents({&x, &gain, &bias}),

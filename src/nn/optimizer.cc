@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "la/kernels.h"
 
 namespace semtag::nn {
 
@@ -91,14 +92,8 @@ void Adam::Step() {
     la::Matrix& m = m_[i];
     la::Matrix& v = v_[i];
     if (weight_decay_ > 0.0f) w.Scale(1.0f - lr_ * weight_decay_);
-    for (size_t j = 0; j < w.size(); ++j) {
-      const float gj = g.data()[j];
-      m.data()[j] = beta1_ * m.data()[j] + (1.0f - beta1_) * gj;
-      v.data()[j] = beta2_ * v.data()[j] + (1.0f - beta2_) * gj * gj;
-      const float mhat = m.data()[j] / bc1;
-      const float vhat = v.data()[j] / bc2;
-      w.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    la::Kernels().adam_update(w.data(), g.data(), m.data(), v.data(),
+                              w.size(), lr_, beta1_, beta2_, eps_, bc1, bc2);
     g.Fill(0.0f);
   }
 }

@@ -132,6 +132,36 @@ TEST_F(ParallelDeterminismTest, ExperimentMetricsBitIdenticalToSequential) {
   EXPECT_EQ(seq.calibrated_f1, par.calibrated_f1);
 }
 
+TEST_F(ParallelDeterminismTest, DeepTrainingBitIdenticalAcrossThreadCounts) {
+  // End-to-end training pin: the kernel layer splits GEMM into paired-row
+  // micro-kernel calls, and this must not change with the thread count —
+  // the parallel split is by output row, and row pairing happens within
+  // each thread's range. Train the same model at 1 and 4 threads and
+  // compare every score bitwise.
+  models::CnnOptions options;
+  options.epochs = 1;
+  options.min_optimizer_steps = 1;
+  options.max_train_examples = 120;
+  const data::Dataset dataset = SmallDataset(160);
+  const auto texts = dataset.Texts();
+
+  SetGlobalPoolThreads(1);
+  models::TextCnn seq_cnn(options);
+  ASSERT_TRUE(seq_cnn.Train(dataset).ok());
+  const std::vector<double> seq = seq_cnn.ScoreAll(texts);
+
+  SetGlobalPoolThreads(4);
+  models::TextCnn par_cnn(options);
+  ASSERT_TRUE(par_cnn.Train(dataset).ok());
+  SetGlobalPoolThreads(1);  // score sequentially: isolates training effects
+  const std::vector<double> par = par_cnn.ScoreAll(texts);
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i], par[i]) << "text " << i;
+  }
+}
+
 TEST_F(ParallelDeterminismTest, BatchedDeepInferenceBitIdentical) {
   // A deliberately tiny CNN: enough to push real tensors through the nn
   // stack's batched-inference path without slow training (one epoch).
