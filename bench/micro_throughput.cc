@@ -5,7 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "data/generator.h"
 #include "data/specs.h"
 #include "models/deep/mini_bert.h"
@@ -194,12 +200,130 @@ void BM_MiniBertTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_MiniBertTrainStep);
 
+// ---------------------------------------------------------------------------
+// Deep-batch suite (--deep-batch -> BENCH_deep_batch.json): the same
+// fine-tune epoch / inference sweep timed per-example (SEMTAG_DEEP_BATCH=1,
+// the seed execution) and batched (cap 32), all on one pool thread so the
+// ratio isolates minibatching from multithreading.
+// ---------------------------------------------------------------------------
+
+/// arg<=1 forces the per-example path; otherwise caps the batch at arg.
+void SetDeepBatchCap(int64_t cap) {
+  ::setenv("SEMTAG_DEEP_BATCH", std::to_string(cap).c_str(), /*overwrite=*/1);
+}
+
+void BM_DeepBatchCnnEpoch(benchmark::State& state) {
+  SetGlobalPoolThreads(1);
+  SetDeepBatchCap(state.range(0));
+  const data::Dataset d = BenchDataset(256);
+  for (auto _ : state) {
+    models::CnnOptions options;
+    options.epochs = 1;
+    options.min_optimizer_steps = 8;  // exactly one pass over 256 records
+    models::TextCnn model(options);
+    SEMTAG_CHECK(model.Train(d).ok());
+  }
+  ::unsetenv("SEMTAG_DEEP_BATCH");
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_DeepBatchCnnEpoch)->Arg(1)->Arg(32)->Iterations(1);
+
+void BM_DeepBatchLstmEpoch(benchmark::State& state) {
+  SetGlobalPoolThreads(1);
+  SetDeepBatchCap(state.range(0));
+  const data::Dataset d = BenchDataset(256);
+  for (auto _ : state) {
+    models::LstmOptions options;
+    options.epochs = 1;
+    options.min_optimizer_steps = 8;  // exactly one pass over 256 records
+    models::TextLstm model(options);
+    SEMTAG_CHECK(model.Train(d).ok());
+  }
+  ::unsetenv("SEMTAG_DEEP_BATCH");
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_DeepBatchLstmEpoch)->Arg(1)->Arg(32)->Iterations(1);
+
+void BM_DeepBatchMiniBertFinetuneEpoch(benchmark::State& state) {
+  SetGlobalPoolThreads(1);
+  SetDeepBatchCap(state.range(0));
+  const data::Dataset d = BenchDataset(256);
+  models::BertConfig config;
+  config.layers = 2;
+  text::VocabularyBuilder builder;
+  for (const auto& text : d.Texts()) {
+    builder.AddDocument(text::Tokenize(text));
+  }
+  // Randomly initialized backbone: fine-tune throughput does not depend on
+  // pretrained weights, and skipping MLM keeps the bench fast.
+  models::MiniBertBackbone backbone(config, builder.Build(1, 4000));
+  for (auto _ : state) {
+    models::BertFinetuneOptions options;
+    options.epochs = 1;
+    options.min_optimizer_steps = 8;  // exactly one pass over 256 records
+    models::MiniBert model("BERT", backbone, options);
+    SEMTAG_CHECK(model.Train(d).ok());
+  }
+  ::unsetenv("SEMTAG_DEEP_BATCH");
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_DeepBatchMiniBertFinetuneEpoch)->Arg(1)->Arg(32)->Iterations(1);
+
+void BM_DeepBatchScoreAll(benchmark::State& state) {
+  SetGlobalPoolThreads(1);
+  ::setenv("SEMTAG_DEEP_BATCH", "1", 1);
+  const data::Dataset d = BenchDataset(512);
+  models::CnnOptions options;
+  options.epochs = 1;
+  options.min_optimizer_steps = 1;
+  options.max_train_examples = 128;
+  models::TextCnn model(options);
+  SEMTAG_CHECK(model.Train(d).ok());
+  SetDeepBatchCap(state.range(0));
+  const auto texts = d.Texts();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ScoreAll(texts));
+  }
+  ::unsetenv("SEMTAG_DEEP_BATCH");
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(texts.size()));
+}
+BENCHMARK(BM_DeepBatchScoreAll)->Arg(1)->Arg(32)->Iterations(2);
+
 }  // namespace
 }  // namespace semtag
 
 int main(int argc, char** argv) {
   semtag::SetLogLevel(semtag::LogLevel::kWarning);
-  benchmark::Initialize(&argc, argv);
+  // --deep-batch runs the BM_DeepBatch* suite -> BENCH_deep_batch.json
+  // (the tracked per-example vs batch-32 comparison). A bare run keeps the
+  // full suite with google-benchmark's default output. Explicit
+  // --benchmark_out= / --benchmark_filter= win over the defaults.
+  bool deep_batch = false, has_out = false, has_filter = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--deep-batch") == 0) {
+      deep_batch = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0) {
+      has_filter = true;
+    }
+    args.push_back(argv[i]);
+  }
+  char deep_out[] = "--benchmark_out=BENCH_deep_batch.json";
+  char deep_fmt[] = "--benchmark_out_format=json";
+  char deep_filter[] = "--benchmark_filter=^BM_DeepBatch";
+  if (deep_batch) {
+    if (!has_out) {
+      args.push_back(deep_out);
+      args.push_back(deep_fmt);
+    }
+    if (!has_filter) args.push_back(deep_filter);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
   benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
   return 0;
 }

@@ -1,7 +1,9 @@
 #include "models/deep/embedding_models.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -10,14 +12,46 @@
 namespace semtag::models {
 
 BertFeaturizer::BertFeaturizer(const MiniBertBackbone* backbone)
-    : backbone_(backbone), rng_(4242) {}
+    : backbone_(backbone) {}
 
 std::vector<float> BertFeaturizer::Embed(std::string_view text) const {
   const auto ids = backbone_->EncodeIds(text);
   nn::Variable hidden =
-      backbone_->Encode(ids, &rng_, /*training=*/false);
+      backbone_->Encode(ids, /*rng=*/nullptr, /*training=*/false);
   const la::Matrix& h = hidden.value();
   return std::vector<float>(h.Row(0), h.Row(0) + h.cols());
+}
+
+std::vector<std::vector<float>> BertFeaturizer::EmbedBatch(
+    std::span<const std::string> texts) const {
+  const size_t batch = EffectiveDeepBatch(EmbedBatchSize());
+  std::vector<std::vector<float>> out;
+  out.reserve(texts.size());
+  if (batch <= 1 || texts.size() <= 1) {
+    for (const auto& t : texts) out.push_back(Embed(t));
+    return out;
+  }
+  for (size_t start = 0; start < texts.size(); start += batch) {
+    const size_t end = std::min(start + batch, texts.size());
+    const size_t bsz = end - start;
+    std::vector<std::vector<int32_t>> encoded;
+    encoded.reserve(bsz);
+    for (size_t i = start; i < end; ++i) {
+      encoded.push_back(backbone_->EncodeIds(texts[i]));
+    }
+    std::vector<const std::vector<int32_t>*> ptrs;
+    ptrs.reserve(bsz);
+    for (const auto& ids : encoded) ptrs.push_back(&ids);
+    nn::Variable hidden =
+        backbone_->EncodeBatch(ptrs, /*rng=*/nullptr, /*training=*/false);
+    const la::Matrix& h = hidden.value();
+    const size_t len = h.rows() / bsz;  // rows per sequence (block-major)
+    for (size_t k = 0; k < bsz; ++k) {
+      const float* cls = h.Row(k * len);
+      out.emplace_back(cls, cls + h.cols());
+    }
+  }
+  return out;
 }
 
 size_t BertFeaturizer::dim() const {
@@ -38,11 +72,18 @@ Status EmbeddingLinearModel::Train(const data::Dataset& train) {
   const size_t d = featurizer_.dim();
   std::vector<std::vector<float>> features;
   features.reserve(train.size());
-  for (const auto& e : train.examples()) {
-    // Featurization runs a transformer forward per example — the slow part
-    // of this model, so the deadline is checked here too.
+  const auto texts = train.Texts();
+  // Featurization runs the transformer forward — the dominant cost of this
+  // model — so it goes through the backbone a batch at a time and the
+  // deadline is checked per chunk.
+  const size_t chunk = std::max<size_t>(
+      1, EffectiveDeepBatch(BertFeaturizer::EmbedBatchSize()));
+  for (size_t start = 0; start < texts.size(); start += chunk) {
     SEMTAG_RETURN_NOT_OK(CheckCancelled());
-    features.push_back(featurizer_.Embed(e.text));
+    const size_t end = std::min(start + chunk, texts.size());
+    auto embedded = featurizer_.EmbedBatch(
+        std::span<const std::string>(texts.data() + start, end - start));
+    for (auto& v : embedded) features.push_back(std::move(v));
   }
   const auto labels = train.Labels();
   weights_.assign(d, 0.0f);
@@ -91,6 +132,24 @@ double EmbeddingLinearModel::Score(std::string_view text) const {
   for (size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
   if (options_.hinge) return z;
   return 1.0 / (1.0 + std::exp(-z));
+}
+
+std::vector<double> EmbeddingLinearModel::ScoreBatch(
+    std::span<const std::string> texts) const {
+  SEMTAG_CHECK(trained_);
+  const size_t batch = EffectiveDeepBatch(score_batch_size());
+  if (batch <= 1 || texts.size() <= 1) {
+    return TaggingModel::ScoreBatch(texts);  // per-example (bit-identical)
+  }
+  const auto features = featurizer_.EmbedBatch(texts);
+  std::vector<double> out(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    const auto& x = features[i];
+    double z = bias_;
+    for (size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+    out[i] = options_.hinge ? z : 1.0 / (1.0 + std::exp(-z));
+  }
+  return out;
 }
 
 }  // namespace semtag::models

@@ -2,6 +2,7 @@
 #define SEMTAG_MODELS_DEEP_EMBEDDING_MODELS_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,11 +20,19 @@ class BertFeaturizer {
   explicit BertFeaturizer(const MiniBertBackbone* backbone);
 
   std::vector<float> Embed(std::string_view text) const;
+
+  /// Embeds texts through stacked backbone forwards (chunks of
+  /// EmbedBatchSize(), or one at a time under SEMTAG_DEEP_BATCH=1).
+  std::vector<std::vector<float>> EmbedBatch(
+      std::span<const std::string> texts) const;
+
   size_t dim() const;
+
+  /// Preferred featurization chunk size before the SEMTAG_DEEP_BATCH cap.
+  static constexpr size_t EmbedBatchSize() { return 32; }
 
  private:
   const MiniBertBackbone* backbone_;
-  mutable Rng rng_;
 };
 
 /// Options for EmbeddingLinearModel.
@@ -50,8 +59,17 @@ class EmbeddingLinearModel : public TaggingModel {
   bool is_deep() const override { return false; }
   Status Train(const data::Dataset& train) override;
   double Score(std::string_view text) const override;
+  std::vector<double> ScoreBatch(
+      std::span<const std::string> texts) const override;
   double DecisionThreshold() const override {
     return options_.hinge ? 0.0 : 0.5;
+  }
+
+ protected:
+  // Scoring cost is the backbone forward, so inference batches like the
+  // deep models even though the classifier itself is linear.
+  size_t score_batch_size() const override {
+    return BertFeaturizer::EmbedBatchSize();
   }
 
  private:

@@ -59,6 +59,15 @@ class MiniBertBackbone {
   nn::Variable Encode(const std::vector<int32_t>& ids, Rng* rng,
                       bool training) const;
 
+  /// Encodes B already-padded id sequences in one stacked forward pass to
+  /// hidden states [B*max_len x d] (block-major: sequence s occupies rows
+  /// [s*max_len, (s+1)*max_len)). One embedding lookup, one Q/K/V
+  /// projection GEMM per head, per-sequence attention via block products,
+  /// one pad mask built per batch and reused across layers.
+  nn::Variable EncodeBatch(
+      const std::vector<const std::vector<int32_t>*>& batch, Rng* rng,
+      bool training) const;
+
   /// Encodes raw text (tokenize + [CLS] + pad).
   std::vector<int32_t> EncodeIds(std::string_view text) const;
 
@@ -79,6 +88,11 @@ class MiniBertBackbone {
  private:
   /// Additive attention mask: key j masked (-1e9) when ids[j] is [PAD].
   la::Matrix AttentionMask(const std::vector<int32_t>& ids) const;
+
+  /// B stacked per-sequence masks [B*max_len x max_len], built once per
+  /// batch into one pool-backed matrix and reused across all layers.
+  la::Matrix BatchAttentionMask(
+      const std::vector<const std::vector<int32_t>*>& batch) const;
 
   BertConfig config_;
   text::SequenceEncoder encoder_;
@@ -120,10 +134,22 @@ class MiniBert : public TaggingModel {
   bool is_deep() const override { return true; }
   Status Train(const data::Dataset& train) override;
   double Score(std::string_view text) const override;
+  std::vector<double> ScoreBatch(
+      std::span<const std::string> texts) const override;
 
   /// The last-layer [CLS] vector (the paper's featurization vector for
   /// LR/SVM + pre-trained embeddings). Usable before Train().
   std::vector<float> EmbedText(std::string_view text) const;
+
+  /// Batched EmbedText: one stacked forward pass, row i is texts[i]'s
+  /// [CLS] vector. Usable before Train().
+  std::vector<std::vector<float>> EmbedTextBatch(
+      std::span<const std::string> texts) const;
+
+ protected:
+  size_t score_batch_size() const override {
+    return static_cast<size_t>(options_.batch_size);
+  }
 
  private:
   std::string display_name_;

@@ -1,5 +1,6 @@
 #include "models/deep/text_cnn.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -69,25 +70,57 @@ Status TextCnn::Train(const data::Dataset& train_full) {
   nn::TrainGuardOptions guard_options;
   guard_options.context = "CNN@" + train.name();
   nn::TrainGuard guard(&optimizer, guard_options);
+  const size_t batch = EffectiveDeepBatch(
+      static_cast<size_t>(std::max(1, options_.batch_size)));
   Status train_status = Status::OK();
   for (int epoch = 0; epoch < effective_epochs && train_status.ok();
        ++epoch) {
     rng_.Shuffle(&order);
-    int in_batch = 0;
-    for (size_t i : order) {
-      train_status = CheckCancelled();
-      if (!train_status.ok()) break;
-      nn::Variable logits = Logits(encoded[i], /*training=*/true);
-      nn::Variable loss = nn::SoftmaxCrossEntropy(logits, {labels[i]});
-      nn::Backward(loss);
-      if (++in_batch >= options_.batch_size) {
-        train_status = guard.Step(loss.value().At(0, 0));
+    if (batch <= 1) {
+      // Per-example path (SEMTAG_DEEP_BATCH=1): bit-identical to the
+      // pre-batching loop; the partial-batch flush reports the real mean
+      // loss instead of 0.
+      int in_batch = 0;
+      double batch_loss = 0.0;
+      for (size_t i : order) {
+        train_status = CheckCancelled();
         if (!train_status.ok()) break;
-        in_batch = 0;
+        nn::Variable logits = Logits(encoded[i], /*training=*/true);
+        nn::Variable loss = nn::SoftmaxCrossEntropy(logits, {labels[i]});
+        batch_loss += loss.value().At(0, 0);
+        nn::Backward(loss);
+        if (++in_batch >= options_.batch_size) {
+          train_status = guard.Step(loss.value().At(0, 0));
+          if (!train_status.ok()) break;
+          in_batch = 0;
+          batch_loss = 0.0;
+        }
       }
-    }
-    if (train_status.ok() && in_batch > 0) {
-      train_status = guard.Step(0.0f);
+      if (train_status.ok() && in_batch > 0) {
+        train_status =
+            guard.Step(batch_loss / static_cast<double>(in_batch));
+      }
+    } else {
+      // Batched path: mean-over-B loss backpropagated with seed B, so the
+      // parameter gradients match the accumulation loop's per-example sum.
+      for (size_t start = 0; start < order.size() && train_status.ok();
+           start += batch) {
+        train_status = CheckCancelled();
+        if (!train_status.ok()) break;
+        const size_t end = std::min(start + batch, order.size());
+        std::vector<const std::vector<int32_t>*> ptrs;
+        std::vector<int32_t> batch_labels;
+        ptrs.reserve(end - start);
+        batch_labels.reserve(end - start);
+        for (size_t k = start; k < end; ++k) {
+          ptrs.push_back(&encoded[order[k]]);
+          batch_labels.push_back(labels[order[k]]);
+        }
+        nn::Variable logits = LogitsBatch(ptrs, /*training=*/true);
+        nn::Variable loss = nn::SoftmaxCrossEntropy(logits, batch_labels);
+        nn::Backward(loss, static_cast<float>(end - start));
+        train_status = guard.Step(loss.value().At(0, 0));
+      }
     }
   }
   set_train_retries(guard.retries());
@@ -104,8 +137,33 @@ nn::Variable TextCnn::Logits(const std::vector<int32_t>& ids,
   pooled.reserve(convs_.size());
   for (const auto& conv : convs_) pooled.push_back(conv->Forward(x));
   nn::Variable features = nn::ConcatCols(pooled);
-  features = nn::Dropout(features, options_.dropout, &rng_, training);
+  features = nn::Dropout(features, options_.dropout,
+                         training ? &rng_ : nullptr, training);
   return head_->Forward(features);
+}
+
+nn::Variable TextCnn::LogitsBatch(
+    const std::vector<const std::vector<int32_t>*>& batch,
+    bool training) const {
+  const size_t B = batch.size();
+  const size_t L = static_cast<size_t>(options_.max_len);
+  // Block-major flatten: sequence s occupies rows [s*L, (s+1)*L).
+  std::vector<int32_t> flat;
+  flat.reserve(B * L);
+  for (const std::vector<int32_t>* ids : batch) {
+    SEMTAG_CHECK(ids != nullptr && ids->size() == L);
+    flat.insert(flat.end(), ids->begin(), ids->end());
+  }
+  nn::Variable x = embedding_->Forward(flat);  // [B*L x E]
+  std::vector<nn::Variable> pooled;
+  pooled.reserve(convs_.size());
+  for (const auto& conv : convs_) {
+    pooled.push_back(conv->ForwardBatch(x, B));  // [B x filters]
+  }
+  nn::Variable features = nn::ConcatCols(pooled);
+  features = nn::Dropout(features, options_.dropout,
+                         training ? &rng_ : nullptr, training);
+  return head_->Forward(features);  // [B x 2]
 }
 
 double TextCnn::Score(std::string_view text) const {
@@ -114,6 +172,35 @@ double TextCnn::Score(std::string_view text) const {
   const float a = logits.value().At(0, 0);
   const float b = logits.value().At(0, 1);
   return 1.0 / (1.0 + std::exp(static_cast<double>(a - b)));
+}
+
+std::vector<double> TextCnn::ScoreBatch(
+    std::span<const std::string> texts) const {
+  SEMTAG_CHECK(trained_);
+  const size_t batch = EffectiveDeepBatch(score_batch_size());
+  if (batch <= 1 || texts.size() <= 1) {
+    return TaggingModel::ScoreBatch(texts);  // per-example (bit-identical)
+  }
+  std::vector<double> out(texts.size());
+  for (size_t start = 0; start < texts.size(); start += batch) {
+    const size_t end = std::min(start + batch, texts.size());
+    const size_t bsz = end - start;
+    std::vector<std::vector<int32_t>> encoded;
+    encoded.reserve(bsz);
+    for (size_t i = start; i < end; ++i) {
+      encoded.push_back(encoder_.Encode(texts[i]));
+    }
+    std::vector<const std::vector<int32_t>*> ptrs;
+    ptrs.reserve(bsz);
+    for (const auto& ids : encoded) ptrs.push_back(&ids);
+    nn::Variable logits = LogitsBatch(ptrs, /*training=*/false);
+    for (size_t k = 0; k < bsz; ++k) {
+      const float a = logits.value().At(k, 0);
+      const float b = logits.value().At(k, 1);
+      out[start + k] = 1.0 / (1.0 + std::exp(static_cast<double>(a - b)));
+    }
+  }
+  return out;
 }
 
 }  // namespace semtag::models

@@ -39,9 +39,22 @@ class TextCnn : public TaggingModel {
   bool is_deep() const override { return true; }
   Status Train(const data::Dataset& train) override;
   double Score(std::string_view text) const override;
+  std::vector<double> ScoreBatch(
+      std::span<const std::string> texts) const override;
+
+ protected:
+  size_t score_batch_size() const override {
+    return static_cast<size_t>(options_.batch_size);
+  }
 
  private:
   nn::Variable Logits(const std::vector<int32_t>& ids, bool training) const;
+  /// Stacked forward for B sequences -> [B x 2] logits. Embeddings are
+  /// block-major ([B*L x E]); each ConvPool runs the batch through one
+  /// im2col GEMM and per-block max pooling.
+  nn::Variable LogitsBatch(
+      const std::vector<const std::vector<int32_t>*>& batch,
+      bool training) const;
 
   CnnOptions options_;
   text::SequenceEncoder encoder_;

@@ -1,5 +1,9 @@
 #include "models/model.h"
 
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
 #include "common/thread_pool.h"
 
 namespace semtag::models {
@@ -13,14 +17,55 @@ constexpr size_t kScoreGrain = 16;
 
 }  // namespace
 
+int DeepBatchLimit() {
+  const char* env = std::getenv("SEMTAG_DEEP_BATCH");
+  if (env == nullptr) return 0;
+  const int v = std::atoi(env);
+  return v >= 1 ? v : 0;
+}
+
+size_t EffectiveDeepBatch(size_t wanted) {
+  const int limit = DeepBatchLimit();
+  size_t batch = std::max<size_t>(1, wanted);
+  if (limit >= 1) batch = std::min(batch, static_cast<size_t>(limit));
+  return batch;
+}
+
+std::vector<double> TaggingModel::ScoreBatch(
+    std::span<const std::string> texts) const {
+  std::vector<double> out(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) out[i] = Score(texts[i]);
+  return out;
+}
+
 std::vector<double> TaggingModel::ScoreAll(
     const std::vector<std::string>& texts) const {
-  // Score() is const and draws no randomness at inference time (dropout is
-  // disabled), so texts score independently on the global pool. Each index
-  // writes only its own slot; results match the sequential loop exactly.
+  // Score()/ScoreBatch() are const and draw no randomness at inference
+  // time (dropout is disabled), so texts score independently on the global
+  // pool. Each index writes only its own slot; results match the
+  // sequential loop exactly.
   std::vector<double> out(texts.size());
-  ParallelFor(0, texts.size(), kScoreGrain, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) out[i] = Score(texts[i]);
+  const size_t batch = EffectiveDeepBatch(score_batch_size());
+  if (batch <= 1) {
+    ParallelFor(0, texts.size(), kScoreGrain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) out[i] = Score(texts[i]);
+    });
+    return out;
+  }
+  // Deep batched path: parallelize over batch *indices* so the batch
+  // boundaries are absolute ([bi*batch, (bi+1)*batch)) regardless of how
+  // ParallelFor chunks the index range — batch composition, and therefore
+  // every floating-point bit, is thread-count-invariant.
+  const size_t num_batches = (texts.size() + batch - 1) / batch;
+  ParallelFor(0, num_batches, 1, [&](size_t lo, size_t hi) {
+    for (size_t bi = lo; bi < hi; ++bi) {
+      const size_t begin = bi * batch;
+      const size_t end = std::min(begin + batch, texts.size());
+      const std::vector<double> scores = ScoreBatch(
+          std::span<const std::string>(texts.data() + begin, end - begin));
+      SEMTAG_CHECK(scores.size() == end - begin);
+      std::copy(scores.begin(), scores.end(), out.begin() + begin);
+    }
   });
   return out;
 }

@@ -61,8 +61,14 @@ ConvPool::ConvPool(int width, size_t embed_dim, size_t filters, Rng* rng)
       bias_(MakeZeroParam(1, filters)) {}
 
 Variable ConvPool::Forward(const Variable& x) const {
-  SEMTAG_CHECK(x.rows() >= static_cast<size_t>(width_));
-  return MaxPoolRows(Relu(Conv1d(x, weight_, bias_, width_)));
+  return ForwardBatch(x, 1);
+}
+
+Variable ConvPool::ForwardBatch(const Variable& x, size_t blocks) const {
+  SEMTAG_CHECK(blocks >= 1 && x.rows() % blocks == 0);
+  SEMTAG_CHECK(x.rows() / blocks >= static_cast<size_t>(width_));
+  return MaxPoolRows(Relu(Conv1d(x, weight_, bias_, width_, blocks)),
+                     blocks);
 }
 
 void ConvPool::CollectParameters(std::vector<Variable>* out) {
@@ -83,15 +89,21 @@ Lstm::Lstm(size_t input_dim, size_t hidden_dim, Rng* rng)
   }
 }
 
-Variable Lstm::Forward(const Variable& x) const {
-  const size_t L = x.rows();
+Variable Lstm::Forward(const Variable& x) const { return ForwardBatch(x, 1); }
+
+Variable Lstm::ForwardBatch(const Variable& x, size_t batch) const {
+  SEMTAG_CHECK(batch >= 1 && x.rows() % batch == 0);
+  const size_t L = x.rows() / batch;  // timesteps
   const size_t H = hidden_dim_;
-  Variable h(la::Matrix(1, H));
-  Variable c(la::Matrix(1, H));
-  // Precompute all input projections in one matmul: [L x 4H].
+  Variable h(la::Matrix(batch, H));
+  Variable c(la::Matrix(batch, H));
+  // Precompute all input projections in one matmul: [T*B x 4H]. x is
+  // timestep-major, so step t's gate rows are the contiguous slice
+  // [t*B, (t+1)*B) and the recurrent update is one [B x 4H] GEMM.
   Variable xproj = AddRowBroadcast(MatMul(x, w_x_), bias_);
   for (size_t t = 0; t < L; ++t) {
-    Variable gates = Add(SliceRows(xproj, t, t + 1), MatMul(h, w_h_));
+    Variable gates =
+        Add(SliceRows(xproj, t * batch, (t + 1) * batch), MatMul(h, w_h_));
     Variable i = Sigmoid(SliceColsRange(gates, 0, H));
     Variable f = Sigmoid(SliceColsRange(gates, H, 2 * H));
     Variable g = Tanh(SliceColsRange(gates, 2 * H, 3 * H));
@@ -119,19 +131,23 @@ Gru::Gru(size_t input_dim, size_t hidden_dim, Rng* rng)
       w_hc_(MakeParam(hidden_dim, hidden_dim, rng)),
       bias_c_(MakeZeroParam(1, hidden_dim)) {}
 
-Variable Gru::Forward(const Variable& x) const {
-  const size_t L = x.rows();
+Variable Gru::Forward(const Variable& x) const { return ForwardBatch(x, 1); }
+
+Variable Gru::ForwardBatch(const Variable& x, size_t batch) const {
+  SEMTAG_CHECK(batch >= 1 && x.rows() % batch == 0);
+  const size_t L = x.rows() / batch;  // timesteps
   const size_t H = hidden_dim_;
-  Variable h(la::Matrix(1, H));
+  Variable h(la::Matrix(batch, H));
   Variable xg = AddRowBroadcast(MatMul(x, w_xg_), bias_g_);
   Variable xc = AddRowBroadcast(MatMul(x, w_xc_), bias_c_);
-  Variable ones(la::Matrix(1, H, 1.0f));
+  Variable ones(la::Matrix(batch, H, 1.0f));
   for (size_t t = 0; t < L; ++t) {
-    Variable gates = Add(SliceRows(xg, t, t + 1), MatMul(h, w_hg_));
+    Variable gates =
+        Add(SliceRows(xg, t * batch, (t + 1) * batch), MatMul(h, w_hg_));
     Variable z = Sigmoid(SliceColsRange(gates, 0, H));
     Variable r = Sigmoid(SliceColsRange(gates, H, 2 * H));
-    Variable candidate =
-        Tanh(Add(SliceRows(xc, t, t + 1), MatMul(Mul(r, h), w_hc_)));
+    Variable candidate = Tanh(Add(SliceRows(xc, t * batch, (t + 1) * batch),
+                                  MatMul(Mul(r, h), w_hc_)));
     // h = (1 - z) * h + z * candidate.
     h = Add(Mul(Sub(ones, z), h), Mul(z, candidate));
   }
@@ -182,7 +198,12 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(size_t dim, size_t num_heads,
 
 Variable MultiHeadSelfAttention::Forward(const Variable& x,
                                          const la::Matrix& mask) const {
-  SEMTAG_CHECK(mask.rows() == x.rows() && mask.cols() == x.rows());
+  // mask is B stacked [T x T] additive masks; B == 1 is the single-
+  // sequence case and runs the exact per-example op chain (blocks == 1
+  // block products are their un-blocked counterparts bit for bit).
+  SEMTAG_CHECK(mask.cols() > 0 && mask.rows() == x.rows() &&
+               x.rows() % mask.cols() == 0);
+  const size_t blocks = x.rows() / mask.cols();
   const float scale =
       1.0f / std::sqrt(static_cast<float>(head_dim_));
   std::vector<Variable> heads;
@@ -191,9 +212,10 @@ Variable MultiHeadSelfAttention::Forward(const Variable& x,
     Variable q = AddRowBroadcast(MatMul(x, w_q_[h]), b_q_[h]);
     Variable k = AddRowBroadcast(MatMul(x, w_k_[h]), b_k_[h]);
     Variable v = AddRowBroadcast(MatMul(x, w_v_[h]), b_v_[h]);
-    Variable scores = AddConst(ScalarMul(MatMulBT(q, k), scale), mask);
+    Variable scores =
+        AddConst(ScalarMul(BlockMatMulBT(q, k, blocks), scale), mask);
     Variable attn = RowSoftmax(scores);
-    heads.push_back(MatMul(attn, v));
+    heads.push_back(BlockMatMul(attn, v, blocks));
   }
   return AddRowBroadcast(MatMul(ConcatCols(heads), w_o_), b_o_);
 }

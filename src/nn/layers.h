@@ -60,6 +60,9 @@ class ConvPool : public Layer {
   /// x: [L x embed_dim] -> [1 x filters]. Requires L >= width (the caller
   /// pads sequences to at least the maximum width).
   Variable Forward(const Variable& x) const;
+  /// Batched: x is B stacked length-L sequences ([B*L x embed_dim],
+  /// block-major) -> [B x filters]. ForwardBatch(x, 1) == Forward(x).
+  Variable ForwardBatch(const Variable& x, size_t blocks) const;
   void CollectParameters(std::vector<Variable>* out) override;
 
   int width() const { return width_; }
@@ -77,6 +80,11 @@ class Lstm : public Layer {
 
   /// Returns the final hidden state [1 x hidden].
   Variable Forward(const Variable& x) const;
+  /// Batched: x is timestep-major [T*B x input] (timestep t's batch rows
+  /// are contiguous at [t*B, (t+1)*B)); one [B x 4H] gate GEMM per step.
+  /// Returns the final hidden states [B x hidden]. ForwardBatch(x, 1) is
+  /// Forward(x) exactly.
+  Variable ForwardBatch(const Variable& x, size_t batch) const;
   void CollectParameters(std::vector<Variable>* out) override;
 
   size_t hidden_dim() const { return hidden_dim_; }
@@ -97,6 +105,8 @@ class Gru : public Layer {
 
   /// Returns the final hidden state [1 x hidden].
   Variable Forward(const Variable& x) const;
+  /// Batched timestep-major counterpart, as Lstm::ForwardBatch.
+  Variable ForwardBatch(const Variable& x, size_t batch) const;
   void CollectParameters(std::vector<Variable>* out) override;
 
   size_t hidden_dim() const { return hidden_dim_; }
@@ -127,7 +137,11 @@ class LayerNormLayer : public Layer {
 };
 
 /// Multi-head self-attention over [L x d]; `mask` is an additive [L x L]
-/// constant (0 for visible, -1e9 for padded keys).
+/// constant (0 for visible, -1e9 for padded keys). Block-aware: with x of
+/// shape [B*T x d] and mask [B*T x T] (B stacked per-sequence T x T
+/// masks), B sequences ride one Q/K/V projection GEMM and attention stays
+/// per-sequence via block-diagonal score/value products. The batch size is
+/// inferred as x.rows() / mask.cols().
 class MultiHeadSelfAttention : public Layer {
  public:
   MultiHeadSelfAttention(size_t dim, size_t num_heads, Rng* rng);

@@ -68,6 +68,46 @@ Variable MatMulBT(const Variable& a, const Variable& b) {
   });
 }
 
+Variable BlockMatMul(const Variable& a, const Variable& b, size_t blocks) {
+  la::Matrix out;
+  la::BlockMatMul(a.value(), b.value(), blocks, &out);
+  return MakeOpNode(std::move(out), Parents({&a, &b}), [blocks](Node* n) {
+    const la::Matrix& g = n->grad;
+    Node* pa = n->parents[0].get();
+    Node* pb = n->parents[1].get();
+    if (Wants(n, 0)) {
+      la::Matrix da;
+      la::BlockMatMulTransB(g, pb->value, blocks, &da);  // g_i * b_i^T
+      pa->EnsureGrad()->Add(da);
+    }
+    if (Wants(n, 1)) {
+      la::Matrix db;
+      la::BlockMatMulTransA(pa->value, g, blocks, &db);  // a_i^T * g_i
+      pb->EnsureGrad()->Add(db);
+    }
+  });
+}
+
+Variable BlockMatMulBT(const Variable& a, const Variable& b, size_t blocks) {
+  la::Matrix out;
+  la::BlockMatMulTransB(a.value(), b.value(), blocks, &out);
+  return MakeOpNode(std::move(out), Parents({&a, &b}), [blocks](Node* n) {
+    const la::Matrix& g = n->grad;  // [B*R x nb]
+    Node* pa = n->parents[0].get();
+    Node* pb = n->parents[1].get();
+    if (Wants(n, 0)) {
+      la::Matrix da;
+      la::BlockMatMul(g, pb->value, blocks, &da);  // g_i * b_i
+      pa->EnsureGrad()->Add(da);
+    }
+    if (Wants(n, 1)) {
+      la::Matrix db;
+      la::BlockMatMulTransA(g, pa->value, blocks, &db);  // g_i^T * a_i
+      pb->EnsureGrad()->Add(db);
+    }
+  });
+}
+
 Variable Add(const Variable& a, const Variable& b) {
   SEMTAG_CHECK(a.value().SameShape(b.value()));
   la::Matrix out = a.value();
@@ -133,6 +173,27 @@ Variable AddRowBroadcast(const Variable& x, const Variable& row) {
     if (Wants(n, 0)) n->parents[0]->EnsureGrad()->Add(n->grad);
     if (Wants(n, 1)) {
       n->parents[1]->EnsureGrad()->Add(la::SumRows(n->grad));
+    }
+  });
+}
+
+Variable AddBlockBroadcast(const Variable& x, const Variable& block) {
+  const size_t t = block.rows();
+  SEMTAG_CHECK(t > 0 && x.rows() % t == 0 && x.cols() == block.cols());
+  la::Matrix out = x.value();
+  const la::KernelTable& kr = la::Kernels();
+  for (size_t r = 0; r < out.rows(); ++r) {
+    kr.vadd(out.Row(r), block.value().Row(r % t), out.cols());
+  }
+  return MakeOpNode(std::move(out), Parents({&x, &block}), [t](Node* n) {
+    if (Wants(n, 0)) n->parents[0]->EnsureGrad()->Add(n->grad);
+    if (Wants(n, 1)) {
+      la::Matrix* pg = n->parents[1]->EnsureGrad();
+      for (size_t r = 0; r < n->grad.rows(); ++r) {
+        const float* src = n->grad.Row(r);
+        float* dst = pg->Row(r % t);
+        for (size_t c = 0; c < n->grad.cols(); ++c) dst[c] += src[c];
+      }
     }
   });
 }
@@ -222,6 +283,9 @@ Variable RowSoftmax(const Variable& a) {
 
 Variable Dropout(const Variable& a, double p, Rng* rng, bool training) {
   if (!training || p <= 0.0) return a;
+  // Inference paths pass rng == nullptr; reaching this line with one would
+  // mean a training=true call on a path that must not mutate RNG state.
+  SEMTAG_CHECK(rng != nullptr);
   SEMTAG_CHECK(p < 1.0);
   la::Matrix mask(a.rows(), a.cols());
   const float keep_scale = static_cast<float>(1.0 / (1.0 - p));
@@ -311,27 +375,38 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
   });
 }
 
-Variable MaxPoolRows(const Variable& a) {
-  SEMTAG_CHECK(a.rows() >= 1);
-  la::Matrix out(1, a.cols());
-  std::vector<uint32_t> argmax(a.cols(), 0);
-  for (size_t c = 0; c < a.cols(); ++c) {
-    float best = a.value()(0, c);
-    for (size_t r = 1; r < a.rows(); ++r) {
-      const float v = a.value()(r, c);
-      if (v > best) {
-        best = v;
-        argmax[c] = static_cast<uint32_t>(r);
+Variable MaxPoolRows(const Variable& a, size_t blocks) {
+  SEMTAG_CHECK(blocks >= 1 && a.rows() >= blocks &&
+               a.rows() % blocks == 0);
+  const size_t rows_per = a.rows() / blocks;
+  const size_t C = a.cols();
+  la::Matrix out(blocks, C);
+  std::vector<uint32_t> argmax(blocks * C, 0);
+  for (size_t blk = 0; blk < blocks; ++blk) {
+    const size_t r0 = blk * rows_per;
+    for (size_t c = 0; c < C; ++c) {
+      float best = a.value()(r0, c);
+      uint32_t best_r = static_cast<uint32_t>(r0);
+      for (size_t r = r0 + 1; r < r0 + rows_per; ++r) {
+        const float v = a.value()(r, c);
+        if (v > best) {
+          best = v;
+          best_r = static_cast<uint32_t>(r);
+        }
       }
+      argmax[blk * C + c] = best_r;
+      out(blk, c) = best;
     }
-    out(0, c) = best;
   }
   return MakeOpNode(std::move(out), Parents({&a}),
                     [argmax = std::move(argmax)](Node* n) {
                       if (!Wants(n, 0)) return;
                       la::Matrix* pg = n->parents[0]->EnsureGrad();
-                      for (size_t c = 0; c < n->grad.cols(); ++c) {
-                        (*pg)(argmax[c], c) += n->grad(0, c);
+                      const size_t C = n->grad.cols();
+                      for (size_t blk = 0; blk < n->grad.rows(); ++blk) {
+                        for (size_t c = 0; c < C; ++c) {
+                          (*pg)(argmax[blk * C + c], c) += n->grad(blk, c);
+                        }
                       }
                     });
 }
@@ -394,21 +469,27 @@ Variable GatherRows(const Variable& x, const std::vector<int32_t>& rows) {
 }
 
 Variable Conv1d(const Variable& x, const Variable& w, const Variable& b,
-                int width) {
-  const size_t L = x.rows();
+                int width, size_t blocks) {
+  SEMTAG_CHECK(blocks >= 1 && x.rows() % blocks == 0);
+  const size_t L = x.rows() / blocks;
   const size_t d = x.cols();
   SEMTAG_CHECK(width >= 1 && L >= static_cast<size_t>(width));
   SEMTAG_CHECK(w.rows() == static_cast<size_t>(width) * d);
   SEMTAG_CHECK(b.rows() == 1 && b.cols() == w.cols());
   const size_t out_len = L - static_cast<size_t>(width) + 1;
-  // im2col: row t = concat(x[t], ..., x[t+width-1]).
-  la::Matrix cols(out_len, static_cast<size_t>(width) * d);
-  for (size_t t = 0; t < out_len; ++t) {
-    float* dst = cols.Row(t);
-    for (int k = 0; k < width; ++k) {
-      std::copy(x.value().Row(t + static_cast<size_t>(k)),
-                x.value().Row(t + static_cast<size_t>(k)) + d,
-                dst + static_cast<size_t>(k) * d);
+  // im2col: row t of block blk = concat(x[t], ..., x[t+width-1]) within
+  // that block — windows never straddle sequences. The filter is shared
+  // across the batch so all B blocks ride one [B*out_len x width*d] GEMM.
+  la::Matrix cols(blocks * out_len, static_cast<size_t>(width) * d);
+  for (size_t blk = 0; blk < blocks; ++blk) {
+    const size_t x0 = blk * L;
+    for (size_t t = 0; t < out_len; ++t) {
+      float* dst = cols.Row(blk * out_len + t);
+      for (int k = 0; k < width; ++k) {
+        std::copy(x.value().Row(x0 + t + static_cast<size_t>(k)),
+                  x.value().Row(x0 + t + static_cast<size_t>(k)) + d,
+                  dst + static_cast<size_t>(k) * d);
+      }
     }
   }
   la::Matrix out;
@@ -416,8 +497,8 @@ Variable Conv1d(const Variable& x, const Variable& w, const Variable& b,
   la::AddRowBroadcast(&out, b.value());
   return MakeOpNode(
       std::move(out), Parents({&x, &w, &b}),
-      [cols = std::move(cols), width, d](Node* n) {
-        const la::Matrix& g = n->grad;  // [out_len x F]
+      [cols = std::move(cols), width, d, blocks, out_len, L](Node* n) {
+        const la::Matrix& g = n->grad;  // [B*out_len x F]
         Node* px = n->parents[0].get();
         Node* pw = n->parents[1].get();
         Node* pb = n->parents[2].get();
@@ -429,14 +510,17 @@ Variable Conv1d(const Variable& x, const Variable& w, const Variable& b,
         }
         if (px->requires_grad) {
           la::Matrix dcols;
-          la::MatMulTransB(g, pw->value, &dcols);  // [out_len x width*d]
+          la::MatMulTransB(g, pw->value, &dcols);  // [B*out_len x width*d]
           la::Matrix* pg = px->EnsureGrad();
-          for (size_t t = 0; t < dcols.rows(); ++t) {
-            const float* src = dcols.Row(t);
-            for (int k = 0; k < width; ++k) {
-              float* dst = pg->Row(t + static_cast<size_t>(k));
-              for (size_t c = 0; c < d; ++c) {
-                dst[c] += src[static_cast<size_t>(k) * d + c];
+          for (size_t blk = 0; blk < blocks; ++blk) {
+            const size_t x0 = blk * L;
+            for (size_t t = 0; t < out_len; ++t) {
+              const float* src = dcols.Row(blk * out_len + t);
+              for (int k = 0; k < width; ++k) {
+                float* dst = pg->Row(x0 + t + static_cast<size_t>(k));
+                for (size_t c = 0; c < d; ++c) {
+                  dst[c] += src[static_cast<size_t>(k) * d + c];
+                }
               }
             }
           }

@@ -19,6 +19,20 @@ Variable MatMul(const Variable& a, const Variable& b);
 /// a * b^T : [m,k] x [n,k] -> [m,n] (attention scores).
 Variable MatMulBT(const Variable& a, const Variable& b);
 
+/// Block-diagonal product: a and b are vertical stacks of `blocks` equal
+/// row blocks and out block i = a_i * b_i. The batched-attention op —
+/// B sequences' (attn x V) products in one node. blocks == 1 is MatMul.
+Variable BlockMatMul(const Variable& a, const Variable& b, size_t blocks);
+
+/// Block-diagonal a_i * b_i^T (batched attention scores: Q_i K_i^T).
+/// blocks == 1 is MatMulBT.
+Variable BlockMatMulBT(const Variable& a, const Variable& b, size_t blocks);
+
+/// Adds the [TxC] `block` to every vertically stacked [TxC] block of x
+/// ([B*T x C]) — the batched position-embedding add. Gradient of `block`
+/// sums over the B stacked blocks. x.rows() == block.rows() is nn::Add.
+Variable AddBlockBroadcast(const Variable& x, const Variable& block);
+
 /// Elementwise a + b (same shape).
 Variable Add(const Variable& a, const Variable& b);
 
@@ -59,8 +73,9 @@ Variable SliceColsRange(const Variable& a, size_t c0, size_t c1);
 /// Horizontal concatenation; all inputs must have the same row count.
 Variable ConcatCols(const std::vector<Variable>& parts);
 
-/// Column-wise max over rows: [RxC] -> [1xC] (max-over-time pooling).
-Variable MaxPoolRows(const Variable& a);
+/// Column-wise max over rows, per vertical block: [B*R x C] -> [B x C]
+/// (max-over-time pooling; blocks == 1 is the single-sequence op).
+Variable MaxPoolRows(const Variable& a, size_t blocks = 1);
 
 /// Column-wise mean over rows: [RxC] -> [1xC].
 Variable MeanRows(const Variable& a);
@@ -75,9 +90,12 @@ Variable EmbeddingLookup(const Variable& table,
 Variable GatherRows(const Variable& x, const std::vector<int32_t>& rows);
 
 /// 1-D convolution over time via im2col: x [L x D], w [(width*D) x F],
-/// b [1 x F] -> [(L-width+1) x F]. Requires L >= width.
+/// b [1 x F] -> [(L-width+1) x F]. Requires L >= width. With blocks > 1,
+/// x is B stacked length-L sequences ([B*L x D]); windows never straddle a
+/// block boundary and the output is [B*(L-width+1) x F] — the whole batch
+/// rides one im2col GEMM because the filter is shared.
 Variable Conv1d(const Variable& x, const Variable& w, const Variable& b,
-                int width);
+                int width, size_t blocks = 1);
 
 /// Row-wise layer normalization with learned gain/bias (both 1xC).
 Variable LayerNorm(const Variable& x, const Variable& gain,

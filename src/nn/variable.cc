@@ -56,12 +56,12 @@ Variable MakeOpNode(la::Matrix value,
   return Variable(std::move(node));
 }
 
-void Backward(const Variable& loss) {
+void Backward(const Variable& loss, float seed_grad) {
   SEMTAG_CHECK(loss.defined());
   SEMTAG_CHECK(loss.value().rows() == 1 && loss.value().cols() == 1);
   internal::Node* root = loss.node().get();
   if (!root->requires_grad) return;
-  root->EnsureGrad()->Fill(1.0f);
+  root->EnsureGrad()->Fill(seed_grad);
 
   // Collect the reachable sub-graph that requires grad.
   std::vector<internal::Node*> nodes;

@@ -71,8 +71,11 @@ Variable MakeOpNode(la::Matrix value,
                     std::function<void(internal::Node*)> backward);
 
 /// Runs backpropagation from a scalar (1x1) loss variable, accumulating
-/// into the .grad of every reachable node that requires grad.
-void Backward(const Variable& loss);
+/// into the .grad of every reachable node that requires grad. `seed_grad`
+/// seeds d(loss)/d(loss); batched training passes the batch size so a
+/// mean-over-B loss yields the same summed parameter gradients as B
+/// per-example backward passes.
+void Backward(const Variable& loss, float seed_grad = 1.0f);
 
 }  // namespace semtag::nn
 

@@ -210,6 +210,77 @@ TEST(AutogradTest, Conv1d) {
       });
 }
 
+TEST(AutogradTest, Conv1dBlocked) {
+  // Two stacked length-5 sequences convolved in one im2col GEMM.
+  Rng rng(21);
+  const int width = 2;
+  CheckGradients(
+      {RandomMatrix(10, 3, &rng), RandomMatrix(6, 4, &rng),
+       RandomMatrix(1, 4, &rng)},
+      [width](const std::vector<Variable>& v) {
+        return Conv1d(v[0], v[1], v[2], width, /*blocks=*/2);
+      });
+}
+
+TEST(AutogradTest, BlockMatMul) {
+  // a: two stacked 3x4 blocks, b: two stacked 4x2 blocks.
+  Rng rng(22);
+  CheckGradients({RandomMatrix(6, 4, &rng), RandomMatrix(8, 2, &rng)},
+                 [](const std::vector<Variable>& v) {
+                   return BlockMatMul(v[0], v[1], /*blocks=*/2);
+                 });
+}
+
+TEST(AutogradTest, BlockMatMulBT) {
+  // a: two stacked 3x4 blocks, b: two stacked 5x4 blocks -> [6 x 5].
+  Rng rng(23);
+  CheckGradients({RandomMatrix(6, 4, &rng), RandomMatrix(10, 4, &rng)},
+                 [](const std::vector<Variable>& v) {
+                   return BlockMatMulBT(v[0], v[1], /*blocks=*/2);
+                 });
+}
+
+TEST(AutogradTest, BlockOpsWithOneBlockMatchUnblockedBitwise) {
+  // blocks=1 must route through the exact un-blocked arithmetic: the
+  // batch-size-1 numeric contract rests on this.
+  Rng rng(24);
+  Matrix a = RandomMatrix(3, 4, &rng);
+  Matrix b = RandomMatrix(4, 2, &rng);
+  Matrix bt = RandomMatrix(5, 4, &rng);
+  Variable va(a), vb(b), vbt(bt);
+  Variable blocked = BlockMatMul(va, vb, 1);
+  Variable plain = MatMul(va, vb);
+  for (size_t i = 0; i < plain.value().size(); ++i) {
+    EXPECT_EQ(blocked.value().data()[i], plain.value().data()[i]);
+  }
+  Variable blocked_bt = BlockMatMulBT(va, vbt, 1);
+  Variable plain_bt = MatMulBT(va, vbt);
+  for (size_t i = 0; i < plain_bt.value().size(); ++i) {
+    EXPECT_EQ(blocked_bt.value().data()[i], plain_bt.value().data()[i]);
+  }
+}
+
+TEST(AutogradTest, AddBlockBroadcast) {
+  // x: two stacked 3x4 blocks, each gets the same 3x4 addend (the batched
+  // position-table add).
+  Rng rng(25);
+  CheckGradients({RandomMatrix(6, 4, &rng), RandomMatrix(3, 4, &rng)},
+                 [](const std::vector<Variable>& v) {
+                   return AddBlockBroadcast(v[0], v[1]);
+                 });
+}
+
+TEST(AutogradTest, MaxPoolRowsBlocked) {
+  // Distinct values so the per-block argmax is stable under the probe h.
+  Matrix x(6, 2);
+  const float vals[] = {0.1f, 0.9f,  0.5f, 0.2f,  -0.3f, 0.4f,
+                        0.7f, -0.8f, 0.2f, 0.6f,  -0.1f, 0.3f};
+  for (size_t i = 0; i < x.size(); ++i) x.data()[i] = vals[i];
+  CheckGradients({x}, [](const std::vector<Variable>& v) {
+    return MaxPoolRows(v[0], /*blocks=*/2);
+  });
+}
+
 TEST(AutogradTest, LayerNorm) {
   Rng rng(13);
   CheckGradients({RandomMatrix(3, 6, &rng), RandomMatrix(1, 6, &rng),
@@ -312,6 +383,16 @@ TEST(AutogradTest, DropoutInference) {
   // Identity at inference.
   for (size_t i = 0; i < y.value().size(); ++i) {
     EXPECT_FLOAT_EQ(y.value().data()[i], 1.0f);
+  }
+}
+
+TEST(AutogradTest, DropoutInferenceNeverTouchesRng) {
+  // Inference callers pass no RNG at all; Dropout must not dereference it
+  // (so batched and per-example inference consume zero random numbers).
+  Variable x(Matrix(2, 3, 2.0f), true);
+  Variable y = Dropout(x, 0.5, /*rng=*/nullptr, /*training=*/false);
+  for (size_t i = 0; i < y.value().size(); ++i) {
+    EXPECT_FLOAT_EQ(y.value().data()[i], 2.0f);
   }
 }
 
