@@ -139,9 +139,9 @@ void RuleBaseline(core::ExperimentRunner* runner) {
   table.Print();
 }
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup("Ablations of this reproduction's design choices",
-                    "DESIGN.md ablation index (not a paper table)");
+                    "DESIGN.md ablation index (not a paper table)", argc, argv);
   core::ExperimentRunner runner;
   PretrainingAblation();
   FeatureAblation();
@@ -154,4 +154,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace semtag::bench {
 
@@ -14,6 +15,14 @@ void BenchSetup(const std::string& title, const std::string& paper_ref) {
   std::printf("(synthetic stand-in datasets, scaled per DESIGN.md; compare "
               "shapes, not absolute values)\n\n");
   std::fflush(stdout);
+}
+
+void BenchSetup(const std::string& title, const std::string& paper_ref,
+                int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    (void)obs::HandleObsFlag(argv[i]);
+  }
+  BenchSetup(title, paper_ref);
 }
 
 Table::Table(std::vector<std::string> header) {

@@ -13,6 +13,12 @@ namespace semtag::bench {
 /// prints the header naming the experiment being reproduced.
 void BenchSetup(const std::string& title, const std::string& paper_ref);
 
+/// Preamble plus flag handling: consumes --metrics[=path] / --trace[=path]
+/// (arming the observability layer exactly like SEMTAG_METRICS /
+/// SEMTAG_TRACE; artifacts flush at exit). Unknown flags are ignored.
+void BenchSetup(const std::string& title, const std::string& paper_ref,
+                int argc, char** argv);
+
 /// Fixed-width table printer. Add a header row then data rows; Print emits
 /// an aligned plain-text table to stdout.
 class Table {

@@ -146,11 +146,11 @@ void RunDef() {
   table.Print();
 }
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup(
       "Appendix extension - NER (BIO) and Knowledge Extraction (DEF)",
       "Li et al., VLDB 2020, appendix 'Extension to NER and Knowledge "
-      "Extraction'");
+      "Extraction'", argc, argv);
   RunBio();
   RunDef();
   std::printf(
@@ -164,4 +164,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -54,9 +54,9 @@ void RatioSweep(core::ExperimentRunner* runner,
   table.Print();
 }
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup("Figure 10 - effect of the positive-label ratio",
-                    "Li et al., VLDB 2020, Section 6.2.2, Figure 10");
+                    "Li et al., VLDB 2020, Section 6.2.2, Figure 10", argc, argv);
   core::ExperimentRunner runner;
   for (const char* name : {"AMAZON", "YELP", "FUNNY", "BOOK"}) {
     RatioSweep(&runner, *data::FindSpec(name));
@@ -72,4 +72,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -11,9 +11,9 @@
 namespace semtag {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup("Figure 11 - heat map of BERT and SVM F1",
-                    "Li et al., VLDB 2020, Section 6.3 / Figure 11");
+                    "Li et al., VLDB 2020, Section 6.3 / Figure 11", argc, argv);
   core::ExperimentRunner runner;
   const auto rows = core::BuildHeatMap(&runner);
 
@@ -38,4 +38,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -16,9 +16,9 @@ namespace {
 
 constexpr int kRepetitions = 3;
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup("Figure 13 - randomness and statistical significance",
-                    "Li et al., VLDB 2020, appendix 'Effect of Randomness'");
+                    "Li et al., VLDB 2020, appendix 'Effect of Randomness'", argc, argv);
   core::ExperimentRunner runner;
 
   for (const char* name : {"FUNNY", "BOOK"}) {
@@ -58,4 +58,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -28,10 +28,10 @@ void PrintGroup(core::ExperimentRunner* runner, const char* title,
   table.Print();
 }
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup("Figures 18-21 - Accuracy and AUC views",
                     "Li et al., VLDB 2020, appendix 'Performance on More "
-                    "Evaluation Measures'");
+                    "Evaluation Measures'", argc, argv);
   core::ExperimentRunner runner;
   PrintGroup(&runner, "Figure 18: Accuracy, datasets with >= 25% positives",
              bench::HighRatioSpecs(), /*accuracy=*/true);
@@ -51,4 +51,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -33,10 +33,10 @@ void PrintGroup(core::ExperimentRunner* runner, const char* title,
   table.Print();
 }
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup(
       "Figures 1-2 - per-dataset F1 of the five representative models",
-      "Li et al., VLDB 2020, Section 5.2.1, Figures 1 and 2");
+      "Li et al., VLDB 2020, Section 5.2.1, Figures 1 and 2", argc, argv);
   core::ExperimentRunner runner;
   PrintGroup(&runner, "Figure 1: datasets with >= 25% positive labels",
              bench::HighRatioSpecs());
@@ -48,4 +48,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -21,10 +21,10 @@ double AverageF1(core::ExperimentRunner* runner, models::ModelKind kind) {
   return eval::MacroAverage(f1s);
 }
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup(
       "Figure 3 / Figures 16-17 - industrial simple and deep models",
-      "Li et al., VLDB 2020, Section 5.2.1 'Other industrial models'");
+      "Li et al., VLDB 2020, Section 5.2.1 'Other industrial models'", argc, argv);
   core::ExperimentRunner runner;
 
   std::printf("(a) simple models, average F1 over the 21 datasets "
@@ -67,4 +67,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -13,9 +13,9 @@
 namespace semtag {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup("Figure 4 - average F1 and training time trade-off",
-                    "Li et al., VLDB 2020, Section 5.2.3, Figure 4");
+                    "Li et al., VLDB 2020, Section 5.2.3, Figure 4", argc, argv);
   core::ExperimentRunner runner;
 
   const double paper_f1[5] = {0.59, 0.60, 0.53, 0.55, 0.70};
@@ -62,4 +62,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

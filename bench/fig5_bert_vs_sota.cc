@@ -13,9 +13,9 @@
 namespace semtag {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup("Figure 5 - BERT vs domain state-of-the-art",
-                    "Li et al., VLDB 2020, Section 5.3, Figure 5");
+                    "Li et al., VLDB 2020, Section 5.3, Figure 5", argc, argv);
   core::ExperimentRunner runner;
 
   bench::Table table({"Dataset", "Metric", "SOTA (ref)", "paper BERT",
@@ -52,4 +52,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

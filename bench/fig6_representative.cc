@@ -12,9 +12,9 @@
 namespace semtag {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup("Figure 6 - representative small vs large dataset",
-                    "Li et al., VLDB 2020, Section 5.3, Figure 6");
+                    "Li et al., VLDB 2020, Section 5.3, Figure 6", argc, argv);
   core::ExperimentRunner runner;
 
   const struct {
@@ -49,4 +49,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -85,10 +85,10 @@ void SubsamplingExperiment(const data::DatasetSpec& spec) {
               train.size(), balanced_train.size());
 }
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup(
       "Figure 7 / Figure 12 - calibration and subsampling on FUNNY/BOOK",
-      "Li et al., VLDB 2020, Section 6.1 + appendix");
+      "Li et al., VLDB 2020, Section 6.1 + appendix", argc, argv);
   for (const char* name : {"FUNNY", "BOOK"}) {
     const auto spec = *data::FindSpec(name);
     CalibrationSweep(spec);
@@ -104,4 +104,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

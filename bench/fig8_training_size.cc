@@ -71,10 +71,10 @@ void VocabGrowth(const data::DatasetSpec& spec) {
   std::printf("\n\n");
 }
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup(
       "Figure 8 / Figure 9 - effect of training-set size",
-      "Li et al., VLDB 2020, Section 6.2.1, Figures 8 and 9");
+      "Li et al., VLDB 2020, Section 6.2.1, Figures 8 and 9", argc, argv);
   core::ExperimentRunner runner;
   for (const char* name : {"AMAZON", "YELP", "FUNNY", "BOOK"}) {
     const auto spec = *data::FindSpec(name);
@@ -91,4 +91,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -28,6 +28,7 @@
 #include "la/kernels.h"
 #include "la/matrix.h"
 #include "la/sparse.h"
+#include "obs/metrics.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
@@ -472,6 +473,9 @@ int main(int argc, char** argv) {
       kernels = true;
       continue;
     }
+    // --metrics[=path] / --trace[=path]: arm the observability layer
+    // (flushed at exit), consumed before google-benchmark sees argv.
+    if (i > 0 && semtag::obs::HandleObsFlag(argv[i])) continue;
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
     if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0) {
       has_filter = true;

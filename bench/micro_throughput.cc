@@ -24,6 +24,7 @@
 #include "nn/layers.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 #include "text/bow_vectorizer.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
@@ -305,6 +306,9 @@ int main(int argc, char** argv) {
       deep_batch = true;
       continue;
     }
+    // --metrics[=path] / --trace[=path]: arm the observability layer
+    // (flushed at exit), consumed before google-benchmark sees argv.
+    if (i > 0 && semtag::obs::HandleObsFlag(argv[i])) continue;
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
     if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0) {
       has_filter = true;

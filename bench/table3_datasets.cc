@@ -13,9 +13,9 @@
 namespace semtag {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup("Table 3 / Table 4 - dataset statistics and taxonomy",
-                    "Li et al., VLDB 2020, Section 4, Tables 3-4");
+                    "Li et al., VLDB 2020, Section 4, Tables 3-4", argc, argv);
 
   bench::Table table({"Dataset", "Application", "#Record (paper)",
                       "%Positive (paper)", "Vocab (paper)", "Quality"});
@@ -52,4 +52,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -25,10 +25,10 @@ const PaperCell kPaperTable5[4][5] = {
     {{0.23, 0.20}, {0.27, 0.20}, {0.07, 0.06}, {0.12, 0.11}, {0.24, 0.19}},
 };
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup(
       "Table 5 / Table 9 - category-average F1 of the five models",
-      "Li et al., VLDB 2020, Section 5.2, Tables 5 and 9");
+      "Li et al., VLDB 2020, Section 5.2, Tables 5 and 9", argc, argv);
   core::ExperimentRunner runner;
 
   bench::Table table({"Category", "LR", "SVM", "CNN", "LSTM", "BERT"});
@@ -79,4 +79,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

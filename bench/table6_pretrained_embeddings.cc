@@ -11,11 +11,11 @@
 namespace semtag {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup(
       "Table 6 / Figures 14-15 - simple models + pretrained embeddings",
       "Li et al., VLDB 2020, Section 5.3 'Effect of pre-trained "
-      "embeddings'");
+      "embeddings'", argc, argv);
   core::ExperimentRunner runner;
 
   const struct {
@@ -73,4 +73,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

@@ -32,9 +32,9 @@ const core::DatasetCategory kOrder[] = {
     core::DatasetCategory::kSmallL, core::DatasetCategory::kSmallH,
     core::DatasetCategory::kLargeL, core::DatasetCategory::kLargeH};
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup("Table 7 - best DEEP vs best SIMPLE by dataset type",
-                    "Li et al., VLDB 2020, Section 6.1, Table 7");
+                    "Li et al., VLDB 2020, Section 6.1, Table 7", argc, argv);
   core::ExperimentRunner runner;
 
   bench::Table table({"Datasets", "DEEP F1", "SIMPLE F1", "gap (paper)",
@@ -75,4 +75,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

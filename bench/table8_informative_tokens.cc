@@ -14,9 +14,9 @@
 namespace semtag {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::BenchSetup("Table 8 - informative tokens by P-N",
-                    "Li et al., VLDB 2020, Section 6.2.3, Table 8");
+                    "Li et al., VLDB 2020, Section 6.2.3, Table 8", argc, argv);
   for (const char* name : {"AMAZON", "YELP", "FUNNY*", "BOOK*"}) {
     const auto spec = *data::FindSpec(name);
     const data::Dataset dataset = data::BuildDataset(spec);
@@ -43,4 +43,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }

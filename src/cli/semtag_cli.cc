@@ -23,6 +23,8 @@
 #include "eval/metrics.h"
 #include "models/simple/linear_svm.h"
 #include "models/simple/logistic_regression.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace semtag {
 namespace {
@@ -236,6 +238,10 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv);
+  // One top-level span per invocation; with SEMTAG_TRACE/SEMTAG_METRICS
+  // set, a CLI run exports the same artifacts as the bench binaries.
+  obs::TraceSpan command_span("cli/command", command.c_str());
+  SEMTAG_OBS_COUNT(std::string("cli/commands/") + command, 1);
   if (command == "profile") return Profile(flags);
   if (command == "train") return TrainCmd(flags);
   if (command == "evaluate") return Evaluate(flags);

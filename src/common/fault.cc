@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 #ifdef __unix__
 #include <unistd.h>
@@ -197,6 +198,10 @@ bool FaultInjected(FaultPoint point, std::string_view context) {
   if (!triggered) return false;
   SEMTAG_LOG(kWarning, "fault injected: %s at %.*s", FaultPointName(point),
              static_cast<int>(context.size()), context.data());
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter(std::string("fault/fired/") + FaultPointName(point))
+        .Add(1);
+  }
   if (point == FaultPoint::kCrash) {
 #ifdef __unix__
     _exit(137);

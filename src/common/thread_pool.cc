@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <utility>
@@ -10,6 +11,8 @@
 #endif
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace semtag {
 
@@ -22,6 +25,8 @@ thread_local const ThreadPool* t_worker_pool = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
+  SEMTAG_OBS_GAUGE_SET("pool/threads",
+                       static_cast<double>(std::max(threads, 1)));
   if (threads <= 1) return;
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
@@ -41,11 +46,25 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::InPool() const { return t_worker_pool == this; }
 
 void ThreadPool::RunTask(const std::function<void()>& task) {
+  // Worker utilization: busy time accumulates into pool/busy_us, so
+  // utilization over a window is busy_us / (threads * wall_us). Clock
+  // reads happen only when the registry is recording.
+  const bool metrics_on = obs::MetricsEnabled();
+  const auto start = metrics_on ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point();
+  obs::TraceSpan span("pool/task");
   try {
     task();
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
+  }
+  if (metrics_on) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    SEMTAG_OBS_COUNT("pool/busy_us", static_cast<uint64_t>(us));
+    SEMTAG_OBS_COUNT("pool/tasks_run", 1);
   }
 }
 
@@ -57,12 +76,17 @@ void ThreadPool::Submit(std::function<void()> task) {
     RunTask(task);
     return;
   }
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++pending_;
+    depth = queue_.size();
   }
   work_cv_.notify_one();
+  SEMTAG_OBS_COUNT("pool/tasks_submitted", 1);
+  SEMTAG_OBS_OBSERVE("pool/queue_depth", obs::DepthBuckets(),
+                     static_cast<double>(depth));
 }
 
 void ThreadPool::Wait() {

@@ -14,6 +14,8 @@
 #include "eval/calibration.h"
 #include "eval/metrics.h"
 #include "models/deep/bert_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace semtag::core {
 
@@ -190,6 +192,18 @@ ExperimentResult TrainAndEvaluate(const data::Dataset& train,
                                   CancellationToken cancel) {
   const std::string cell =
       train.name() + "/" + models::ModelKindName(kind);
+  // One span per experiment cell, named by the cell and tagged with its
+  // CellOutcome: a RunMany sweep renders in Perfetto as one track of cell
+  // spans per worker, each labeled ok/retried/timed_out/failed.
+  obs::TraceSpan cell_span(cell.c_str());
+  auto note_cell = [&cell_span](const ExperimentResult& r) {
+    cell_span.SetTag(CellOutcomeName(r.outcome));
+    if (!obs::MetricsEnabled()) return;
+    obs::GetCounter(std::string("cell/outcome/") + CellOutcomeName(r.outcome))
+        .Add(1);
+    obs::GetHistogram("cell/train_ms", obs::LatencyBucketsMs())
+        .ObserveAlways(r.train_seconds * 1e3);
+  };
   ExperimentResult result;
   result.dataset = train.name();
   result.model = models::ModelKindName(kind);
@@ -217,6 +231,7 @@ ExperimentResult TrainAndEvaluate(const data::Dataset& train,
                          : CellOutcome::kFailed;
     SEMTAG_LOG(kError, "cell %s %s: %s", cell.c_str(),
                CellOutcomeName(result.outcome), result.error.c_str());
+    note_cell(result);
     return result;
   }
 
@@ -249,10 +264,12 @@ ExperimentResult TrainAndEvaluate(const data::Dataset& train,
     result.outcome = CellOutcome::kFailed;
     SEMTAG_LOG(kError, "cell %s produced non-finite metrics; discarded",
                cell.c_str());
+    note_cell(result);
     return result;
   }
   result.outcome =
       result.retries > 0 ? CellOutcome::kRetried : CellOutcome::kOk;
+  note_cell(result);
   return result;
 }
 
@@ -288,7 +305,11 @@ bool ExperimentRunner::Lookup(const std::string& key,
   if (!use_cache_) return false;
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(key);
-  if (it == cache_.end()) return false;
+  if (it == cache_.end()) {
+    SEMTAG_OBS_COUNT("result_cache/misses", 1);
+    return false;
+  }
+  SEMTAG_OBS_COUNT("result_cache/hits", 1);
   *result = it->second;
   return true;
 }
@@ -366,6 +387,7 @@ ExperimentResult ExperimentRunner::RunOn(const std::string& cache_key,
 
 RunReport ExperimentRunner::RunMany(
     const std::vector<data::DatasetSpec>& specs, models::ModelKind kind) {
+  obs::TraceSpan sweep_span("runner/RunMany", models::ModelKindName(kind));
   RunReport report;
   report.results.resize(specs.size());
   // Each cell is fully self-contained (dataset generation, split,

@@ -7,6 +7,8 @@
 #include <new>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace semtag::la {
 
 namespace {
@@ -78,6 +80,23 @@ ThreadCache& LocalCache() {
   static thread_local ThreadCache cache;
   return cache;
 }
+
+/// Snapshot collector: publishes the pool's own counters as gauges so a
+/// metrics dump carries hit/miss rates without the pool hot path ever
+/// touching the registry.
+void CollectBufferPoolMetrics() {
+  const BufferPool::Stats s = BufferPool::GetStats();
+  obs::GetGauge("buffer_pool/pool_hits").Set(static_cast<double>(s.pool_hits));
+  obs::GetGauge("buffer_pool/system_allocs")
+      .Set(static_cast<double>(s.system_allocs));
+  obs::GetGauge("buffer_pool/system_frees")
+      .Set(static_cast<double>(s.system_frees));
+  obs::GetGauge("buffer_pool/releases").Set(static_cast<double>(s.releases));
+  obs::GetGauge("buffer_pool/enabled").Set(BufferPool::Enabled() ? 1.0 : 0.0);
+}
+
+[[maybe_unused]] const bool g_buffer_pool_collector =
+    obs::RegisterCollector(CollectBufferPoolMetrics);
 
 }  // namespace
 

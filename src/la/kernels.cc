@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "la/kernels_internal.h"
+#include "obs/metrics.h"
 
 namespace semtag::la {
 
@@ -116,6 +117,18 @@ const KernelTable& SelectedTable() {
   }();
   return *table;
 }
+
+/// Snapshot collector: publishes the dispatched tier so a metrics dump
+/// records which kernel table produced the numbers (0=scalar 1=sse2
+/// 2=avx2, plus a name-keyed one-hot for greppability).
+void CollectKernelMetrics() {
+  const SimdLevel level = ActiveSimdLevel();
+  obs::GetGauge("la/simd_tier").Set(static_cast<double>(static_cast<int>(level)));
+  obs::GetGauge(std::string("la/simd_tier/") + SimdLevelName(level)).Set(1.0);
+}
+
+[[maybe_unused]] const bool g_kernel_collector =
+    obs::RegisterCollector(CollectKernelMetrics);
 
 }  // namespace
 

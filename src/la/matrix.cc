@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "la/buffer_pool.h"
 #include "la/kernels.h"
+#include "obs/metrics.h"
 
 namespace semtag::la {
 
@@ -34,6 +35,18 @@ constexpr size_t kTransposeTile = 32;
 /// True when an [m x n x k] product is worth fanning out to the pool.
 bool WorthParallel(size_t m, size_t n, size_t k) {
   return m * n * k >= kParallelMinWork;
+}
+
+/// GEMM accounting: call and FLOP-estimate counters, named per dispatched
+/// SIMD tier (e.g. la/gemm/calls_avx2) so a snapshot shows which kernel
+/// table did the work. One relaxed-load branch when the registry is off.
+void NoteGemm(size_t m, size_t n, size_t k) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter& calls = obs::GetCounter(
+      std::string("la/gemm/calls_") + SimdLevelName(ActiveSimdLevel()));
+  static obs::Counter& flops = obs::GetCounter("la/gemm/flops");
+  calls.Add(1);
+  flops.Add(static_cast<uint64_t>(2) * m * n * k);
 }
 
 }  // namespace
@@ -354,6 +367,7 @@ void MatMulTransBRows(const Matrix& a, const Matrix& b, Matrix* out,
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
   SEMTAG_CHECK(a.cols() == b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  NoteGemm(m, n, k);
   *out = Matrix(m, n);
   if (WorthParallel(m, n, k)) {
     ParallelFor(0, m, 1, [&](size_t lo, size_t hi) {
@@ -367,6 +381,7 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
 void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
   SEMTAG_CHECK(a.rows() == b.rows());
   const size_t m = a.cols(), k = a.rows(), n = b.cols();
+  NoteGemm(m, n, k);
   *out = Matrix(m, n);
   if (WorthParallel(m, n, k)) {
     ParallelFor(0, m, 1, [&](size_t lo, size_t hi) {
@@ -380,6 +395,7 @@ void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
 void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
   SEMTAG_CHECK(a.cols() == b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  NoteGemm(m, n, k);
   // Every element is written by a dot product (no accumulation), so the
   // output skips the zero fill — one full write pass saved.
   *out = Matrix::Uninitialized(m, n);
@@ -399,6 +415,7 @@ void BlockMatMul(const Matrix& a, const Matrix& b, size_t blocks,
   const size_t s = b.rows() / blocks;
   SEMTAG_CHECK(a.cols() == s);
   const size_t r = a.rows() / blocks, n = b.cols();
+  NoteGemm(a.rows(), n, s);
   *out = Matrix(a.rows(), n);
   for (size_t blk = 0; blk < blocks; ++blk) {
     const size_t i0 = blk * r;
@@ -419,6 +436,7 @@ void BlockMatMulTransA(const Matrix& a, const Matrix& b, size_t blocks,
                a.rows() % blocks == 0);
   const size_t s = a.rows() / blocks;
   const size_t r = a.cols(), n = b.cols();
+  NoteGemm(blocks * r, n, s);
   *out = Matrix(blocks * r, n);
   for (size_t blk = 0; blk < blocks; ++blk) {
     const size_t off = blk * s;
@@ -439,6 +457,7 @@ void BlockMatMulTransB(const Matrix& a, const Matrix& b, size_t blocks,
                a.rows() % blocks == 0 && b.rows() % blocks == 0);
   const size_t r = a.rows() / blocks, nb = b.rows() / blocks;
   const size_t k = a.cols();
+  NoteGemm(a.rows(), nb, k);
   // Dot-product writes cover every element; no zero fill needed.
   *out = Matrix::Uninitialized(a.rows(), nb);
   for (size_t blk = 0; blk < blocks; ++blk) {

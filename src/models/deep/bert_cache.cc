@@ -10,6 +10,7 @@
 #include "data/generator.h"
 #include "data/specs.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 #include "text/vocabulary.h"
 
 namespace semtag::models {
@@ -109,7 +110,10 @@ const MiniBertBackbone& GetPretrainedBackbone(BertVariant variant) {
       *new std::map<BertVariant, std::unique_ptr<MiniBertBackbone>>();
   std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(variant);
-  if (it != cache.end()) return *it->second;
+  if (it != cache.end()) {
+    SEMTAG_OBS_COUNT("bert_cache/mem_hits", 1);
+    return *it->second;
+  }
 
   const VariantSetup setup = SetupFor(variant);
   const auto corpus = data::GeneratePretrainCorpus(
@@ -124,9 +128,11 @@ const MiniBertBackbone& GetPretrainedBackbone(BertVariant variant) {
   auto params = backbone->Parameters();
   Status load = nn::LoadCheckpoint(checkpoint, &params);
   if (load.ok()) {
+    SEMTAG_OBS_COUNT("bert_cache/disk_hits", 1);
     SEMTAG_LOG(kInfo, "loaded pretrained %s from %s",
                BertVariantName(variant), checkpoint.c_str());
   } else {
+    SEMTAG_OBS_COUNT("bert_cache/pretrains", 1);
     SEMTAG_LOG(kInfo, "pretraining %s with MLM (%d sentences, %d epochs)...",
                BertVariantName(variant), setup.corpus_sentences,
                setup.pretrain.epochs);

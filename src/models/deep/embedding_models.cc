@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "nn/schedule.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace semtag::models {
 
@@ -94,6 +96,8 @@ Status EmbeddingLinearModel::Train(const data::Dataset& train) {
   nn::InverseTimeDecayLr schedule(options_.learning_rate, 1e-3);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     SEMTAG_RETURN_NOT_OK(CheckCancelled());
+    obs::TraceSpan epoch_span("train/EmbLinear/epoch", display_name_.c_str());
+    WallTimer epoch_timer;
     rng.Shuffle(&order);
     for (size_t i : order) {
       const double lr = schedule.Next();
@@ -118,6 +122,11 @@ Status EmbeddingLinearModel::Train(const data::Dataset& train) {
         const float shrink = static_cast<float>(1.0 - lr * options_.l2);
         for (auto& w : weights_) w *= shrink;
       }
+    }
+    if (obs::MetricsEnabled()) {
+      obs::GetHistogram("train/EmbLinear/epoch_us", obs::LatencyBucketsUs())
+          .ObserveAlways(epoch_timer.ElapsedSeconds() * 1e6);
+      obs::GetCounter("train/EmbLinear/epochs").Add(1);
     }
   }
   trained_ = true;

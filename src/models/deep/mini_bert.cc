@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "la/init.h"
 #include "nn/train_guard.h"
+#include "obs/trace.h"
 
 namespace semtag::models {
 
@@ -198,6 +199,7 @@ PretrainStats MiniBertBackbone::Pretrain(
   };
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train/BERT/pretrain_epoch");
     rng.Shuffle(&order);
     if (batch <= 1) {
       // Per-example path (SEMTAG_DEEP_BATCH=1): bit-identical to the
@@ -359,6 +361,8 @@ Status MiniBert::Train(const data::Dataset& train_full) {
   Status train_status = Status::OK();
   for (int epoch = 0; epoch < effective_epochs && train_status.ok();
        ++epoch) {
+    obs::TraceSpan epoch_span("train/BERT/finetune_epoch",
+                              train.name().c_str());
     rng_.Shuffle(&order);
     if (batch <= 1) {
       // Per-example path (SEMTAG_DEEP_BATCH=1): bit-identical to the

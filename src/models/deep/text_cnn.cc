@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "nn/optimizer.h"
 #include "nn/train_guard.h"
+#include "obs/trace.h"
 
 namespace semtag::models {
 
@@ -75,6 +76,7 @@ Status TextCnn::Train(const data::Dataset& train_full) {
   Status train_status = Status::OK();
   for (int epoch = 0; epoch < effective_epochs && train_status.ok();
        ++epoch) {
+    obs::TraceSpan epoch_span("train/CNN/epoch", train.name().c_str());
     rng_.Shuffle(&order);
     if (batch <= 1) {
       // Per-example path (SEMTAG_DEEP_BATCH=1): bit-identical to the

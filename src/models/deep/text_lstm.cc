@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "nn/optimizer.h"
 #include "nn/train_guard.h"
+#include "obs/trace.h"
 
 namespace semtag::models {
 
@@ -78,6 +79,9 @@ Status TextLstm::Train(const data::Dataset& train_full) {
   Status train_status = Status::OK();
   for (int epoch = 0; epoch < effective_epochs && train_status.ok();
        ++epoch) {
+    obs::TraceSpan epoch_span(
+        options_.cell == RnnCell::kGru ? "train/GRU/epoch" : "train/LSTM/epoch",
+        train.name().c_str());
     rng_.Shuffle(&order);
     if (batch <= 1) {
       // Per-example path (SEMTAG_DEEP_BATCH=1): bit-identical to the

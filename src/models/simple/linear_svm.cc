@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace semtag::models {
 
@@ -40,6 +42,8 @@ Status LinearSvm::Train(const data::Dataset& train) {
 
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
     SEMTAG_RETURN_NOT_OK(CheckCancelled());
+    obs::TraceSpan epoch_span("train/SVM/epoch");
+    WallTimer epoch_timer;
     rng.Shuffle(&order);
     double max_pg = 0.0;
     for (size_t i : order) {
@@ -59,6 +63,15 @@ Status LinearSvm::Train(const data::Dataset& train) {
         xi.AxpyInto(delta, weights_.data());
         bias_ += delta;
       }
+    }
+    if (obs::MetricsEnabled()) {
+      // Dual optimality gap stands in for a loss curve: it decays toward
+      // the tolerance as the dual converges.
+      obs::GetHistogram("train/SVM/max_pg", obs::LossBuckets())
+          .ObserveAlways(max_pg);
+      obs::GetHistogram("train/SVM/epoch_us", obs::LatencyBucketsUs())
+          .ObserveAlways(epoch_timer.ElapsedSeconds() * 1e6);
+      obs::GetCounter("train/SVM/epochs").Add(1);
     }
     if (max_pg < options_.tolerance) break;
   }

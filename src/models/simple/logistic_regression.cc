@@ -8,6 +8,8 @@
 #include "common/timer.h"
 #include "la/kernels.h"
 #include "nn/schedule.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace semtag::models {
 
@@ -31,6 +33,13 @@ Status LogisticRegression::Train(const data::Dataset& train) {
   int64_t t = 0;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     SEMTAG_RETURN_NOT_OK(CheckCancelled());
+    obs::TraceSpan epoch_span("train/LR/epoch");
+    // Read once per epoch; the per-sample loss accumulation below runs
+    // only while the registry records, so the disabled path is the seed
+    // loop plus one local-bool branch.
+    const bool obs_on = obs::MetricsEnabled();
+    WallTimer epoch_timer;
+    double epoch_loss = 0.0;
     rng.Shuffle(&order);
     for (size_t i : order) {
       const double lr = schedule.Next();
@@ -39,10 +48,20 @@ Status LogisticRegression::Train(const data::Dataset& train) {
       const double z = xi.Dot(weights_.data()) + bias_;
       const double p = 1.0 / (1.0 + std::exp(-z));
       const double err = p - labels[i];  // d(logloss)/dz
+      if (obs_on) {
+        epoch_loss += labels[i] == 1 ? -std::log(p) : -std::log1p(-p);
+      }
       // Lazy-ish L2: apply decay only to touched coordinates is biased;
       // with tiny l2 a global shrink per epoch is a good approximation.
       xi.AxpyInto(static_cast<float>(-lr * err), weights_.data());
       bias_ -= static_cast<float>(lr * err);
+    }
+    if (obs_on) {
+      obs::GetHistogram("train/LR/epoch_loss", obs::LossBuckets())
+          .ObserveAlways(epoch_loss / static_cast<double>(order.size()));
+      obs::GetHistogram("train/LR/epoch_us", obs::LatencyBucketsUs())
+          .ObserveAlways(epoch_timer.ElapsedSeconds() * 1e6);
+      obs::GetCounter("train/LR/epochs").Add(1);
     }
     if (options_.l2 > 0.0) {
       const float shrink = static_cast<float>(

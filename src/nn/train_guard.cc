@@ -42,7 +42,37 @@ double TrainGuard::GradNorm() const {
   return std::sqrt(total);
 }
 
+void TrainGuard::NoteStepMetrics(float loss) {
+  if (!obs::MetricsEnabled()) {
+    step_timed_ = false;  // don't count a disabled gap as step latency
+    return;
+  }
+  if (loss_hist_ == nullptr) {
+    // Context tags are "<model>@<dataset>"; the model family prefix keys
+    // the histograms so one sweep yields per-family distributions.
+    std::string family = options_.context.substr(0, options_.context.find('@'));
+    if (family.empty()) family = "model";
+    loss_hist_ =
+        &obs::GetHistogram("train/" + family + "/step_loss", obs::LossBuckets());
+    step_us_hist_ = &obs::GetHistogram("train/" + family + "/step_us",
+                                       obs::LatencyBucketsUs());
+    steps_counter_ = &obs::GetCounter("train/" + family + "/steps");
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (step_timed_) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        now - last_step_time_)
+                        .count();
+    step_us_hist_->ObserveAlways(static_cast<double>(us));
+  }
+  last_step_time_ = now;
+  step_timed_ = true;
+  steps_counter_->Add(1);
+  if (std::isfinite(loss)) loss_hist_->ObserveAlways(loss);
+}
+
 Status TrainGuard::Step(float loss) {
+  NoteStepMetrics(loss);
   if (FaultInjected(FaultPoint::kNonFiniteLoss, options_.context)) {
     loss = std::numeric_limits<float>::quiet_NaN();
   }
@@ -70,6 +100,7 @@ Status TrainGuard::Step(float loss) {
   }
 
   // Divergence: bounded retry with snapshot restore + lr halving + backoff.
+  SEMTAG_OBS_COUNT("train/recoveries", 1);
   ++retries_;
   if (retries_ > options_.max_retries) {
     return Status::Internal(

@@ -1,12 +1,14 @@
 #ifndef SEMTAG_NN_TRAIN_GUARD_H_
 #define SEMTAG_NN_TRAIN_GUARD_H_
 
+#include <chrono>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "la/matrix.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 
 namespace semtag::nn {
 
@@ -56,12 +58,24 @@ class TrainGuard {
   void Restore();
   /// Global L2 gradient norm; NaN/Inf gradients make it non-finite.
   double GradNorm() const;
+  /// Per-model loss / step-latency histograms. Every deep family routes
+  /// its optimizer updates through Step(), so this one site instruments
+  /// all of them; no-op (one relaxed load) when the registry is off.
+  void NoteStepMetrics(float loss);
 
   Optimizer* optimizer_;
   TrainGuardOptions options_;
   std::vector<la::Matrix> last_good_;
   int retries_ = 0;
   int healthy_steps_ = 0;
+
+  // Lazily bound metric handles (the names depend on options_.context, so
+  // hot sites can't use the usual function-local-static caching).
+  obs::Histogram* loss_hist_ = nullptr;
+  obs::Histogram* step_us_hist_ = nullptr;
+  obs::Counter* steps_counter_ = nullptr;
+  std::chrono::steady_clock::time_point last_step_time_;
+  bool step_timed_ = false;
 };
 
 }  // namespace semtag::nn

@@ -1,0 +1,40 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace semtag {
+namespace {
+
+TEST(WallTimerTest, ElapsedIsMonotoneNonNegative) {
+  WallTimer timer;
+  double prev = timer.ElapsedSeconds();
+  EXPECT_GE(prev, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    const double now = timer.ElapsedSeconds();
+    EXPECT_GE(now, prev);  // steady clock: never runs backwards
+    prev = now;
+  }
+}
+
+TEST(WallTimerTest, MeasuresSleeps) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Lower bound only: sleeps can overshoot arbitrarily on loaded machines.
+  EXPECT_GE(timer.ElapsedSeconds(), 0.009);
+}
+
+TEST(WallTimerTest, RestartZeroesTheBaseline) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double before = timer.ElapsedSeconds();
+  timer.Restart();
+  const double after = timer.ElapsedSeconds();
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 0.0);
+}
+
+}  // namespace
+}  // namespace semtag

@@ -1,0 +1,240 @@
+// The observability layer's two contracts, pinned end to end:
+//
+//  1. Enabling metrics + tracing must not change a single trained bit.
+//     Instrumentation only *reads* model state (losses, timings); the
+//     accumulators live outside the math, so every score is bitwise
+//     identical with the layer on or off, at any thread count.
+//  2. Disabled (the default), an instrumentation site costs one relaxed
+//     atomic load and a branch — cheap enough to leave in the training
+//     inner loops permanently.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "data/generator.h"
+#include "data/specs.h"
+#include "models/deep/mini_bert.h"
+#include "models/deep/text_cnn.h"
+#include "models/simple/logistic_regression.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/validate.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace semtag {
+namespace {
+
+data::Dataset SmallDataset(int n) {
+  data::GeneratorConfig config;
+  config.bg_vocab = 1800;
+  config.signal_topic = 22;
+  config.positive_topics = {23, 24};
+  config.negative_topics = {25, 26};
+  config.signal_strength = 0.35;
+  config.seed = 977;
+  return data::GenerateDataset(data::SharedLanguage(), config, "obs-ovh", n,
+                               0.5);
+}
+
+models::CnnOptions TinyCnnOptions() {
+  models::CnnOptions options;
+  options.epochs = 1;
+  options.min_optimizer_steps = 1;
+  options.max_train_examples = 120;
+  return options;
+}
+
+/// One tiny pretrained backbone shared by both fine-tuning runs, so the
+/// disabled/enabled comparison starts from identical weights.
+models::MiniBertBackbone& SharedBackbone() {
+  static models::MiniBertBackbone* backbone = [] {
+    models::BertConfig config;
+    config.max_len = 12;
+    config.dim = 16;
+    config.heads = 2;
+    config.ffn = 32;
+    config.layers = 2;
+    config.seed = 3;
+    const auto corpus =
+        data::GeneratePretrainCorpus(data::SharedLanguage(), 300, 10, 71);
+    text::VocabularyBuilder builder;
+    for (const auto& s : corpus) {
+      builder.AddDocument(text::Tokenize(s));
+    }
+    auto* b = new models::MiniBertBackbone(config, builder.Build(1, 4000));
+    models::PretrainOptions pretrain;
+    pretrain.epochs = 1;
+    b->Pretrain(corpus, pretrain);
+    return b;
+  }();
+  return *backbone;
+}
+
+models::BertFinetuneOptions TinyBertOptions() {
+  models::BertFinetuneOptions options;
+  options.epochs = 1;
+  options.min_optimizer_steps = 1;
+  options.max_train_examples = 80;
+  return options;
+}
+
+/// Restores the global obs + pool state around every test.
+class ObsOverheadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics_were_enabled_ = obs::MetricsEnabled();
+    trace_was_enabled_ = obs::TraceEnabled();
+    obs::SetMetricsEnabled(false);
+    obs::SetTraceEnabled(false);
+  }
+  void TearDown() override {
+    obs::ResetMetricsForTest();
+    obs::ResetTraceForTest();
+    obs::SetMetricsEnabled(metrics_were_enabled_);
+    obs::SetTraceEnabled(trace_was_enabled_);
+    SetGlobalPoolThreads(DefaultThreadCount());
+  }
+
+ private:
+  bool metrics_were_enabled_ = false;
+  bool trace_was_enabled_ = false;
+};
+
+TEST_F(ObsOverheadTest, EnabledObservabilityChangesNoTrainedBit) {
+  const data::Dataset dataset = SmallDataset(200);
+  const auto texts = dataset.Texts();
+
+  // Reference run: everything off (the default production state).
+  models::LogisticRegression lr_off;
+  ASSERT_TRUE(lr_off.Train(dataset).ok());
+  const std::vector<double> lr_ref = lr_off.ScoreAll(texts);
+  models::TextCnn cnn_off(TinyCnnOptions());
+  ASSERT_TRUE(cnn_off.Train(dataset).ok());
+  const std::vector<double> cnn_ref = cnn_off.ScoreAll(texts);
+  models::MiniBert bert_off("BERT", SharedBackbone(), TinyBertOptions());
+  ASSERT_TRUE(bert_off.Train(dataset).ok());
+  const std::vector<double> bert_ref = bert_off.ScoreAll(texts);
+
+  // Instrumented run: metrics + tracing both recording.
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  models::LogisticRegression lr_on;
+  ASSERT_TRUE(lr_on.Train(dataset).ok());
+  const std::vector<double> lr_obs = lr_on.ScoreAll(texts);
+  models::TextCnn cnn_on(TinyCnnOptions());
+  ASSERT_TRUE(cnn_on.Train(dataset).ok());
+  const std::vector<double> cnn_obs = cnn_on.ScoreAll(texts);
+  models::MiniBert bert_on("BERT", SharedBackbone(), TinyBertOptions());
+  ASSERT_TRUE(bert_on.Train(dataset).ok());
+  const std::vector<double> bert_obs = bert_on.ScoreAll(texts);
+  obs::SetMetricsEnabled(false);
+  obs::SetTraceEnabled(false);
+
+  ASSERT_EQ(lr_ref.size(), lr_obs.size());
+  for (size_t i = 0; i < lr_ref.size(); ++i) {
+    EXPECT_EQ(lr_ref[i], lr_obs[i]) << "LR text " << i;
+  }
+  ASSERT_EQ(cnn_ref.size(), cnn_obs.size());
+  for (size_t i = 0; i < cnn_ref.size(); ++i) {
+    EXPECT_EQ(cnn_ref[i], cnn_obs[i]) << "CNN text " << i;
+  }
+  ASSERT_EQ(bert_ref.size(), bert_obs.size());
+  for (size_t i = 0; i < bert_ref.size(); ++i) {
+    EXPECT_EQ(bert_ref[i], bert_obs[i]) << "BERT text " << i;
+  }
+}
+
+TEST_F(ObsOverheadTest, InstrumentedRunActuallyRecords) {
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  obs::ResetMetricsForTest();
+  obs::ResetTraceForTest();
+
+  const data::Dataset dataset = SmallDataset(160);
+  models::TextCnn cnn(TinyCnnOptions());
+  ASSERT_TRUE(cnn.Train(dataset).ok());
+
+  // Training must have produced CNN step metrics, GEMM counters, and at
+  // least one epoch span — the wiring, not just the registry, is live.
+  const obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  uint64_t cnn_steps = 0;
+  uint64_t gemm_flops = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "train/CNN/steps") cnn_steps = value;
+    if (name == "la/gemm/flops") gemm_flops = value;
+  }
+  EXPECT_GT(cnn_steps, 0u);
+  EXPECT_GT(gemm_flops, 0u);
+  bool saw_loss_hist = false;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name == "train/CNN/step_loss") {
+      saw_loss_hist = hist.count > 0;
+    }
+  }
+  EXPECT_TRUE(saw_loss_hist);
+  EXPECT_GT(obs::GetTraceStats().recorded, 0u);
+  const obs::ValidationResult check = obs::ValidateTraceJson(obs::TraceToJson());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST_F(ObsOverheadTest, DisabledSitesAreCheap) {
+  // 1M disabled probes of each site kind. The bound is deliberately
+  // generous (50 ns/op amortized — two orders above the expected cost) so
+  // the test only fails when the disabled path regresses to real work
+  // (clock reads, allocation, registry lookups), not from machine noise.
+  constexpr int kOps = 1'000'000;
+  obs::Histogram& hist = obs::GetHistogram("obs_ovh/hist", obs::LossBuckets());
+  obs::Counter& counter = obs::GetCounter("obs_ovh/counter");
+
+  WallTimer timer;
+  for (int i = 0; i < kOps; ++i) {
+    counter.Add(1);
+    hist.Observe(0.5);
+    SEMTAG_OBS_COUNT("obs_ovh/macro", 1);
+    obs::TraceSpan span("obs_ovh/span");
+  }
+  const double seconds = timer.ElapsedSeconds();
+  const double ns_per_op = seconds * 1e9 / (4.0 * kOps);
+  EXPECT_LT(ns_per_op, 50.0) << "disabled-path site cost " << ns_per_op
+                             << " ns/op";
+  // And truly off: nothing was recorded anywhere.
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(hist.TotalCount(), 0u);
+  EXPECT_EQ(obs::GetTraceStats().recorded, 0u);
+  std::printf("[ obs ] disabled site: %.2f ns/op\n", ns_per_op);
+}
+
+TEST_F(ObsOverheadTest, ParallelTrainingDeterministicWithTracingOn) {
+  // Tracing stores per-thread and merges at export, so it must not perturb
+  // the bit-identical-across-thread-counts contract of the parallel layer.
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  const data::Dataset dataset = SmallDataset(160);
+  const auto texts = dataset.Texts();
+
+  SetGlobalPoolThreads(1);
+  models::TextCnn seq_cnn(TinyCnnOptions());
+  ASSERT_TRUE(seq_cnn.Train(dataset).ok());
+  const std::vector<double> seq = seq_cnn.ScoreAll(texts);
+
+  SetGlobalPoolThreads(4);
+  models::TextCnn par_cnn(TinyCnnOptions());
+  ASSERT_TRUE(par_cnn.Train(dataset).ok());
+  SetGlobalPoolThreads(1);
+  const std::vector<double> par = par_cnn.ScoreAll(texts);
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i], par[i]) << "text " << i;
+  }
+  const obs::ValidationResult check = obs::ValidateTraceJson(obs::TraceToJson());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+}  // namespace
+}  // namespace semtag

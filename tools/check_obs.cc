@@ -1,0 +1,78 @@
+// CI artifact checker for the observability layer:
+//
+//   check_obs --trace <file.json> [--trace <file2.json> ...]
+//   check_obs --metrics <file.json> [...]
+//
+// Validates each chrome-trace export (valid JSON, B/E events carrying
+// name/ts/pid/tid, per-tid balanced and properly nested) and each metrics
+// snapshot (semtag-metrics-v1 schema, per-histogram counts/bounds/count
+// invariants). Exits non-zero on the first invalid file, so the CI `obs`
+// job fails when an export regresses. Either flag also accepts a file
+// that a test run may not have produced yet when given --allow-missing.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/validate.h"
+
+namespace semtag::obs {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: check_obs [--allow-missing] "
+               "(--trace <file> | --metrics <file>)...\n");
+  return 2;
+}
+
+bool Exists(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  bool allow_missing = false;
+  int checked = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--allow-missing") == 0) {
+      allow_missing = true;
+      continue;
+    }
+    const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
+    const bool is_metrics = std::strcmp(argv[i], "--metrics") == 0;
+    if ((!is_trace && !is_metrics) || i + 1 >= argc) return Usage();
+    const char* path = argv[++i];
+    if (!Exists(path)) {
+      if (allow_missing) {
+        std::printf("check_obs: %s missing (allowed)\n", path);
+        continue;
+      }
+      std::fprintf(stderr, "check_obs: %s missing\n", path);
+      return 1;
+    }
+    const ValidationResult result =
+        is_trace ? ValidateTraceFile(path) : ValidateMetricsFile(path);
+    if (!result.ok) {
+      std::fprintf(stderr, "check_obs: %s INVALID: %s\n", path,
+                   result.error.c_str());
+      return 1;
+    }
+    if (is_trace) {
+      std::printf("check_obs: %s ok (%d events)\n", path, result.events);
+    } else {
+      std::printf("check_obs: %s ok (%d counters, %d histograms)\n", path,
+                  result.counters, result.histograms);
+    }
+    ++checked;
+  }
+  if (checked == 0) return Usage();
+  return 0;
+}
+
+}  // namespace
+}  // namespace semtag::obs
+
+int main(int argc, char** argv) { return semtag::obs::Main(argc, argv); }

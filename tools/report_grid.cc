@@ -2,8 +2,13 @@
 // persistent result cache (no training; cells missing from the cache show
 // "-"). Handy for eyeballing the state of the experiment grid without
 // re-running any bench.
+//
+//   report_grid                      # F1 grid from the result cache
+//   report_grid --metrics <file>     # summarize a semtag-metrics-v1
+//                                    #   snapshot (SEMTAG_METRICS output)
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <set>
 
@@ -12,12 +17,63 @@
 #include "common/string_util.h"
 #include "data/specs.h"
 #include "models/deep/bert_cache.h"
+#include "obs/validate.h"
 
 namespace semtag {
 namespace {
 
-int Main() {
+/// Renders a registry snapshot file: every counter and gauge one per line,
+/// histograms as count/mean/min/max. Validates the schema first, so a
+/// truncated or hand-edited file fails loudly instead of printing garbage.
+int SummarizeMetrics(const char* path) {
+  const obs::ValidationResult check = obs::ValidateMetricsFile(path);
+  if (!check.ok) {
+    std::fprintf(stderr, "%s: %s\n", path, check.error.c_str());
+    return 1;
+  }
+  auto content = ReadFileToString(path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  obs::JsonValue root;
+  std::string err;
+  if (!obs::ParseJson(*content, &root, &err)) {
+    std::fprintf(stderr, "%s: %s\n", path, err.c_str());
+    return 1;
+  }
+  const auto print_section = [&root](const char* section) {
+    const obs::JsonValue* obj = root.Find(section);
+    if (obj == nullptr || !obj->is_object()) return;
+    std::printf("%s:\n", section);
+    for (const auto& [name, v] : obj->object) {
+      if (v.is_number()) {
+        std::printf("  %-40s %.6g\n", name.c_str(), v.number);
+      } else if (v.is_object()) {
+        const obs::JsonValue* count = v.Find("count");
+        const obs::JsonValue* sum = v.Find("sum");
+        const obs::JsonValue* min = v.Find("min");
+        const obs::JsonValue* max = v.Find("max");
+        if (count == nullptr || sum == nullptr) continue;
+        const double n = count->number;
+        std::printf("  %-40s count=%.0f mean=%.6g min=%.6g max=%.6g\n",
+                    name.c_str(), n, n > 0 ? sum->number / n : 0.0,
+                    min != nullptr ? min->number : 0.0,
+                    max != nullptr ? max->number : 0.0);
+      }
+    }
+  };
+  print_section("counters");
+  print_section("gauges");
+  print_section("histograms");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
+  if (argc >= 3 && std::strcmp(argv[1], "--metrics") == 0) {
+    return SummarizeMetrics(argv[2]);
+  }
   const std::string path = models::CacheDir() + "/results.csv";
   auto content = ReadFileToString(path);
   if (!content.ok()) {
@@ -71,4 +127,4 @@ int Main() {
 }  // namespace
 }  // namespace semtag
 
-int main() { return semtag::Main(); }
+int main(int argc, char** argv) { return semtag::Main(argc, argv); }
