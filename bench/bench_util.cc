@@ -8,12 +8,29 @@
 
 namespace semtag::bench {
 
+const char* LibraryBuildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
 void BenchSetup(const std::string& title, const std::string& paper_ref) {
   SetLogLevel(LogLevel::kWarning);
   std::printf("== %s ==\n", title.c_str());
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   std::printf("(synthetic stand-in datasets, scaled per DESIGN.md; compare "
-              "shapes, not absolute values)\n\n");
+              "shapes, not absolute values)\n");
+  std::printf("build: %s\n\n", LibraryBuildType());
+#ifndef NDEBUG
+  std::printf("*** WARNING: this is a DEBUG build — timings below are not\n"
+              "*** meaningful and must not be recorded in BENCH_*.json.\n"
+              "*** Reconfigure with -DCMAKE_BUILD_TYPE=Release first.\n\n");
+  SEMTAG_LOG(kWarning,
+             "bench '%s' running in a debug build; do not record timings",
+             title.c_str());
+#endif
   std::fflush(stdout);
 }
 

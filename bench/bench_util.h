@@ -9,8 +9,16 @@
 
 namespace semtag::bench {
 
-/// Standard bench preamble: quiets INFO logging (keeps tables clean) and
-/// prints the header naming the experiment being reproduced.
+/// Build type of this binary: "release" when compiled with NDEBUG, "debug"
+/// otherwise. Distinct from google-benchmark's own library_build_type
+/// context field, which describes only the benchmark library. Benchmark
+/// mains record it via benchmark::AddCustomContext so every BENCH_*.json
+/// carries the build type of the numbers it holds.
+const char* LibraryBuildType();
+
+/// Standard bench preamble: quiets INFO logging (keeps tables clean),
+/// prints the header naming the experiment being reproduced, and warns
+/// loudly when the binary is a debug build (timings meaningless).
 void BenchSetup(const std::string& title, const std::string& paper_ref);
 
 /// Preamble plus flag handling: consumes --metrics[=path] / --trace[=path]

@@ -5,11 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "data/generator.h"
@@ -290,6 +292,31 @@ void BM_DeepBatchScoreAll(benchmark::State& state) {
 }
 BENCHMARK(BM_DeepBatchScoreAll)->Arg(1)->Arg(32)->Iterations(2);
 
+void BM_DeepBatchScoreAllQuant(benchmark::State& state) {
+  // Same sweep through the int8 inference tier (SEMTAG_QUANT=1): the
+  // batch-32 row against BM_DeepBatchScoreAll/32 isolates what
+  // quantization adds on top of minibatching.
+  SetGlobalPoolThreads(1);
+  ::setenv("SEMTAG_DEEP_BATCH", "1", 1);
+  const data::Dataset d = BenchDataset(512);
+  models::CnnOptions options;
+  options.epochs = 1;
+  options.min_optimizer_steps = 1;
+  options.max_train_examples = 128;
+  models::TextCnn model(options);
+  SEMTAG_CHECK(model.Train(d).ok());
+  SetDeepBatchCap(state.range(0));
+  ::setenv("SEMTAG_QUANT", "1", 1);
+  const auto texts = d.Texts();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ScoreAll(texts));
+  }
+  ::unsetenv("SEMTAG_QUANT");
+  ::unsetenv("SEMTAG_DEEP_BATCH");
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(texts.size()));
+}
+BENCHMARK(BM_DeepBatchScoreAllQuant)->Arg(1)->Arg(32)->Iterations(2);
+
 }  // namespace
 }  // namespace semtag
 
@@ -315,6 +342,15 @@ int main(int argc, char** argv) {
     }
     args.push_back(argv[i]);
   }
+  // Stamp the semtag build type into the JSON context and warn when these
+  // numbers come from a debug build (see bench_util.cc).
+  benchmark::AddCustomContext("semtag_build_type",
+                              semtag::bench::LibraryBuildType());
+#ifndef NDEBUG
+  std::printf("*** WARNING: DEBUG build — timings are not meaningful and\n"
+              "*** must not be recorded in BENCH_*.json. Reconfigure with\n"
+              "*** -DCMAKE_BUILD_TYPE=Release first.\n");
+#endif
   char deep_out[] = "--benchmark_out=BENCH_deep_batch.json";
   char deep_fmt[] = "--benchmark_out_format=json";
   char deep_filter[] = "--benchmark_filter=^BM_DeepBatch";

@@ -5,7 +5,9 @@
 
 #include "common/logging.h"
 #include "la/kernels_internal.h"
+#include "la/quant.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace semtag::la {
 
@@ -113,6 +115,10 @@ const KernelTable& SelectedTable() {
     const SimdLevel level = SelectLevel();
     SEMTAG_LOG(kDebug, "kernel dispatch: %s (best supported: %s)",
                SimdLevelName(level), SimdLevelName(BestSupportedSimdLevel()));
+    // Stamp the tier into the trace metadata too, so a chrome-trace
+    // export identifies which kernel table produced it without anyone
+    // having to capture stderr.
+    obs::SetTraceMetadata("la/simd_tier", SimdLevelName(level));
     return &TableForUnchecked(level);
   }();
   return *table;
@@ -120,11 +126,13 @@ const KernelTable& SelectedTable() {
 
 /// Snapshot collector: publishes the dispatched tier so a metrics dump
 /// records which kernel table produced the numbers (0=scalar 1=sse2
-/// 2=avx2, plus a name-keyed one-hot for greppability).
+/// 2=avx2, plus a name-keyed one-hot for greppability), and whether the
+/// int8 inference tier was armed at snapshot time.
 void CollectKernelMetrics() {
   const SimdLevel level = ActiveSimdLevel();
   obs::GetGauge("la/simd_tier").Set(static_cast<double>(static_cast<int>(level)));
   obs::GetGauge(std::string("la/simd_tier/") + SimdLevelName(level)).Set(1.0);
+  obs::GetGauge("la/quant/enabled").Set(QuantInferenceEnabled() ? 1.0 : 0.0);
 }
 
 [[maybe_unused]] const bool g_kernel_collector =

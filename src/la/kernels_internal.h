@@ -48,6 +48,18 @@ void ScalarSparseAxpy(const SparseEntry* e, size_t nnz, float s,
 void ScalarAdamUpdate(float* w, const float* g, float* m, float* v, size_t n,
                       float lr, float beta1, float beta2, float eps,
                       float bc1, float bc2);
+// Int8 inference tier. These are shared by the SSE2 table too: the whole
+// quantized pipeline is integer-exact (and the float edges avoid FMA and
+// round nearest-even), so reusing the scalar entries keeps SSE2
+// bit-identical to scalar without a third implementation.
+float ScalarQuantizeRowI8(const float* x, size_t n, int8_t* q);
+int32_t ScalarDotI8(const int8_t* a, const int8_t* b, size_t n);
+void ScalarDot4I8(const int8_t* a, const int8_t* b0, const int8_t* b1,
+                  const int8_t* b2, const int8_t* b3, size_t n,
+                  int32_t out[4]);
+void ScalarDequantAffineRow(float* out, const int32_t* acc, float a_scale,
+                            const float* w_scales, const float* bias,
+                            size_t n, bool fuse_relu);
 
 /// Fully-scalar table (kernels_scalar.cc).
 const KernelTable& ScalarTable();

@@ -263,6 +263,13 @@ const KernelTable& Sse2Table() {
       &ScalarSparseDot,
       &ScalarSparseAxpy,
       &ScalarAdamUpdate,
+      // Int8 tier: the scalar entries are already exact (integer
+      // accumulation; nearest-even rounding; no FMA), so SSE2 reuses them
+      // rather than maintaining a third bit-identical implementation.
+      &ScalarQuantizeRowI8,
+      &ScalarDotI8,
+      &ScalarDot4I8,
+      &ScalarDequantAffineRow,
   };
   return table;
 }

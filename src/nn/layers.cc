@@ -1,9 +1,12 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <optional>
 
 #include "common/logging.h"
 #include "la/init.h"
+#include "la/quant.h"
+#include "nn/quant.h"
 
 namespace semtag::nn {
 
@@ -28,6 +31,9 @@ Linear::Linear(size_t in_dim, size_t out_dim, Rng* rng)
       bias_(MakeZeroParam(1, out_dim)) {}
 
 Variable Linear::Forward(const Variable& x) const {
+  if (QuantRoutable(weight_)) {
+    return QuantAffine(x, weight_, &bias_, la::QuantAct::kNone);
+  }
   return AddRowBroadcast(MatMul(x, weight_), bias_);
 }
 
@@ -35,6 +41,8 @@ void Linear::CollectParameters(std::vector<Variable>* out) {
   out->push_back(weight_);
   out->push_back(bias_);
 }
+
+void Linear::PrepareQuantInference() { PrepareQuantWeight(weight_); }
 
 // ------------------------------------------------------------- Embedding
 
@@ -45,12 +53,15 @@ Embedding::Embedding(size_t vocab, size_t dim, Rng* rng, float init_stddev) {
 }
 
 Variable Embedding::Forward(const std::vector<int32_t>& ids) const {
+  if (QuantRoutable(table_)) return QuantEmbeddingLookup(table_, ids);
   return EmbeddingLookup(table_, ids);
 }
 
 void Embedding::CollectParameters(std::vector<Variable>* out) {
   out->push_back(table_);
 }
+
+void Embedding::PrepareQuantInference() { PrepareQuantWeightRows(table_); }
 
 // -------------------------------------------------------------- ConvPool
 
@@ -67,6 +78,10 @@ Variable ConvPool::Forward(const Variable& x) const {
 Variable ConvPool::ForwardBatch(const Variable& x, size_t blocks) const {
   SEMTAG_CHECK(blocks >= 1 && x.rows() % blocks == 0);
   SEMTAG_CHECK(x.rows() / blocks >= static_cast<size_t>(width_));
+  if (QuantRoutable(weight_)) {
+    return MaxPoolRows(QuantConvRelu(x, weight_, bias_, width_, blocks),
+                       blocks);
+  }
   return MaxPoolRows(Relu(Conv1d(x, weight_, bias_, width_, blocks)),
                      blocks);
 }
@@ -75,6 +90,8 @@ void ConvPool::CollectParameters(std::vector<Variable>* out) {
   out->push_back(weight_);
   out->push_back(bias_);
 }
+
+void ConvPool::PrepareQuantInference() { PrepareQuantWeight(weight_); }
 
 // ------------------------------------------------------------------ Lstm
 
@@ -100,10 +117,16 @@ Variable Lstm::ForwardBatch(const Variable& x, size_t batch) const {
   // Precompute all input projections in one matmul: [T*B x 4H]. x is
   // timestep-major, so step t's gate rows are the contiguous slice
   // [t*B, (t+1)*B) and the recurrent update is one [B x 4H] GEMM.
-  Variable xproj = AddRowBroadcast(MatMul(x, w_x_), bias_);
+  const bool quant = QuantRoutable(w_x_) && QuantRoutable(w_h_);
+  Variable xproj = quant
+                       ? QuantAffine(x, w_x_, &bias_, la::QuantAct::kNone)
+                       : AddRowBroadcast(MatMul(x, w_x_), bias_);
   for (size_t t = 0; t < L; ++t) {
+    Variable hproj = quant
+                         ? QuantAffine(h, w_h_, nullptr, la::QuantAct::kNone)
+                         : MatMul(h, w_h_);
     Variable gates =
-        Add(SliceRows(xproj, t * batch, (t + 1) * batch), MatMul(h, w_h_));
+        Add(SliceRows(xproj, t * batch, (t + 1) * batch), hproj);
     Variable i = Sigmoid(SliceColsRange(gates, 0, H));
     Variable f = Sigmoid(SliceColsRange(gates, H, 2 * H));
     Variable g = Tanh(SliceColsRange(gates, 2 * H, 3 * H));
@@ -118,6 +141,11 @@ void Lstm::CollectParameters(std::vector<Variable>* out) {
   out->push_back(w_x_);
   out->push_back(w_h_);
   out->push_back(bias_);
+}
+
+void Lstm::PrepareQuantInference() {
+  PrepareQuantWeight(w_x_);
+  PrepareQuantWeight(w_h_);
 }
 
 // ------------------------------------------------------------------- Gru
@@ -138,20 +166,39 @@ Variable Gru::ForwardBatch(const Variable& x, size_t batch) const {
   const size_t L = x.rows() / batch;  // timesteps
   const size_t H = hidden_dim_;
   Variable h(la::Matrix(batch, H));
-  Variable xg = AddRowBroadcast(MatMul(x, w_xg_), bias_g_);
-  Variable xc = AddRowBroadcast(MatMul(x, w_xc_), bias_c_);
+  const bool quant = QuantRoutable(w_xg_) && QuantRoutable(w_hg_) &&
+                     QuantRoutable(w_xc_) && QuantRoutable(w_hc_);
+  Variable xg = quant
+                    ? QuantAffine(x, w_xg_, &bias_g_, la::QuantAct::kNone)
+                    : AddRowBroadcast(MatMul(x, w_xg_), bias_g_);
+  Variable xc = quant
+                    ? QuantAffine(x, w_xc_, &bias_c_, la::QuantAct::kNone)
+                    : AddRowBroadcast(MatMul(x, w_xc_), bias_c_);
   Variable ones(la::Matrix(batch, H, 1.0f));
   for (size_t t = 0; t < L; ++t) {
-    Variable gates =
-        Add(SliceRows(xg, t * batch, (t + 1) * batch), MatMul(h, w_hg_));
+    Variable hg = quant
+                      ? QuantAffine(h, w_hg_, nullptr, la::QuantAct::kNone)
+                      : MatMul(h, w_hg_);
+    Variable gates = Add(SliceRows(xg, t * batch, (t + 1) * batch), hg);
     Variable z = Sigmoid(SliceColsRange(gates, 0, H));
     Variable r = Sigmoid(SliceColsRange(gates, H, 2 * H));
-    Variable candidate = Tanh(Add(SliceRows(xc, t * batch, (t + 1) * batch),
-                                  MatMul(Mul(r, h), w_hc_)));
+    Variable rh = Mul(r, h);
+    Variable hc = quant
+                      ? QuantAffine(rh, w_hc_, nullptr, la::QuantAct::kNone)
+                      : MatMul(rh, w_hc_);
+    Variable candidate =
+        Tanh(Add(SliceRows(xc, t * batch, (t + 1) * batch), hc));
     // h = (1 - z) * h + z * candidate.
     h = Add(Mul(Sub(ones, z), h), Mul(z, candidate));
   }
   return h;
+}
+
+void Gru::PrepareQuantInference() {
+  PrepareQuantWeight(w_xg_);
+  PrepareQuantWeight(w_hg_);
+  PrepareQuantWeight(w_xc_);
+  PrepareQuantWeight(w_hc_);
 }
 
 void Gru::CollectParameters(std::vector<Variable>* out) {
@@ -206,18 +253,42 @@ Variable MultiHeadSelfAttention::Forward(const Variable& x,
   const size_t blocks = x.rows() / mask.cols();
   const float scale =
       1.0f / std::sqrt(static_cast<float>(head_dim_));
+  // When the int8 tier is routable, x is quantized once and shared across
+  // every head's Q/K/V projection; the score softmax and attn x V products
+  // stay fp32 (their operands are activations on both sides, where int8
+  // buys little and costs accuracy).
+  const bool quant = QuantRoutable(w_o_);
+  std::optional<la::QuantizedActivations> xq;
+  if (quant) xq.emplace(la::QuantizeActivations(x.value()));
   std::vector<Variable> heads;
   heads.reserve(num_heads_);
   for (size_t h = 0; h < num_heads_; ++h) {
-    Variable q = AddRowBroadcast(MatMul(x, w_q_[h]), b_q_[h]);
-    Variable k = AddRowBroadcast(MatMul(x, w_k_[h]), b_k_[h]);
-    Variable v = AddRowBroadcast(MatMul(x, w_v_[h]), b_v_[h]);
+    Variable q =
+        quant ? QuantAffinePre(*xq, w_q_[h], &b_q_[h], la::QuantAct::kNone)
+              : AddRowBroadcast(MatMul(x, w_q_[h]), b_q_[h]);
+    Variable k =
+        quant ? QuantAffinePre(*xq, w_k_[h], &b_k_[h], la::QuantAct::kNone)
+              : AddRowBroadcast(MatMul(x, w_k_[h]), b_k_[h]);
+    Variable v =
+        quant ? QuantAffinePre(*xq, w_v_[h], &b_v_[h], la::QuantAct::kNone)
+              : AddRowBroadcast(MatMul(x, w_v_[h]), b_v_[h]);
     Variable scores =
         AddConst(ScalarMul(BlockMatMulBT(q, k, blocks), scale), mask);
     Variable attn = RowSoftmax(scores);
     heads.push_back(BlockMatMul(attn, v, blocks));
   }
-  return AddRowBroadcast(MatMul(ConcatCols(heads), w_o_), b_o_);
+  Variable cat = ConcatCols(heads);
+  return quant ? QuantAffine(cat, w_o_, &b_o_, la::QuantAct::kNone)
+               : AddRowBroadcast(MatMul(cat, w_o_), b_o_);
+}
+
+void MultiHeadSelfAttention::PrepareQuantInference() {
+  for (size_t h = 0; h < num_heads_; ++h) {
+    PrepareQuantWeight(w_q_[h]);
+    PrepareQuantWeight(w_k_[h]);
+    PrepareQuantWeight(w_v_[h]);
+  }
+  PrepareQuantWeight(w_o_);
 }
 
 void MultiHeadSelfAttention::CollectParameters(std::vector<Variable>* out) {
@@ -251,9 +322,20 @@ Variable TransformerEncoderLayer::Forward(const Variable& x,
   Variable attended =
       Dropout(attention_.Forward(x, mask), dropout, rng, training);
   Variable h = norm1_.Forward(Add(x, attended));
-  Variable ffn = Dropout(ffn2_.Forward(Gelu(ffn1_.Forward(h))), dropout,
-                         rng, training);
+  // ffn1 + GELU fuse into one quantized GEMM (the GELU sweep runs on the
+  // dequantized output rows).
+  Variable activated =
+      QuantRoutable(ffn1_.weight())
+          ? QuantAffine(h, ffn1_.weight(), &ffn1_.bias(), la::QuantAct::kGelu)
+          : Gelu(ffn1_.Forward(h));
+  Variable ffn = Dropout(ffn2_.Forward(activated), dropout, rng, training);
   return norm2_.Forward(Add(h, ffn));
+}
+
+void TransformerEncoderLayer::PrepareQuantInference() {
+  attention_.PrepareQuantInference();
+  ffn1_.PrepareQuantInference();
+  ffn2_.PrepareQuantInference();
 }
 
 void TransformerEncoderLayer::CollectParameters(std::vector<Variable>* out) {

@@ -19,6 +19,13 @@ class Layer {
   Layer& operator=(const Layer&) = delete;
 
   virtual void CollectParameters(std::vector<Variable>* out) = 0;
+
+  /// Builds int8 views of this layer's inference GEMM weights (nn/quant.h);
+  /// Forward then routes through the quantized kernels whenever
+  /// $SEMTAG_QUANT=1. Call only on frozen weights. Default: no GEMM
+  /// weights, nothing to do. Views are dropped by DropQuantWeight sweeps
+  /// over CollectParameters (serialize.cc does this on checkpoint load).
+  virtual void PrepareQuantInference() {}
 };
 
 /// y = x W + b, W: [in x out].
@@ -28,6 +35,7 @@ class Linear : public Layer {
 
   Variable Forward(const Variable& x) const;
   void CollectParameters(std::vector<Variable>* out) override;
+  void PrepareQuantInference() override;
 
   const Variable& weight() const { return weight_; }
   const Variable& bias() const { return bias_; }
@@ -44,6 +52,7 @@ class Embedding : public Layer {
 
   Variable Forward(const std::vector<int32_t>& ids) const;
   void CollectParameters(std::vector<Variable>* out) override;
+  void PrepareQuantInference() override;
 
   Variable& table() { return table_; }
   const Variable& table() const { return table_; }
@@ -64,6 +73,7 @@ class ConvPool : public Layer {
   /// block-major) -> [B x filters]. ForwardBatch(x, 1) == Forward(x).
   Variable ForwardBatch(const Variable& x, size_t blocks) const;
   void CollectParameters(std::vector<Variable>* out) override;
+  void PrepareQuantInference() override;
 
   int width() const { return width_; }
 
@@ -86,6 +96,7 @@ class Lstm : public Layer {
   /// Forward(x) exactly.
   Variable ForwardBatch(const Variable& x, size_t batch) const;
   void CollectParameters(std::vector<Variable>* out) override;
+  void PrepareQuantInference() override;
 
   size_t hidden_dim() const { return hidden_dim_; }
 
@@ -108,6 +119,7 @@ class Gru : public Layer {
   /// Batched timestep-major counterpart, as Lstm::ForwardBatch.
   Variable ForwardBatch(const Variable& x, size_t batch) const;
   void CollectParameters(std::vector<Variable>* out) override;
+  void PrepareQuantInference() override;
 
   size_t hidden_dim() const { return hidden_dim_; }
 
@@ -148,6 +160,7 @@ class MultiHeadSelfAttention : public Layer {
 
   Variable Forward(const Variable& x, const la::Matrix& mask) const;
   void CollectParameters(std::vector<Variable>* out) override;
+  void PrepareQuantInference() override;
 
  private:
   size_t dim_;
@@ -171,6 +184,7 @@ class TransformerEncoderLayer : public Layer {
   Variable Forward(const Variable& x, const la::Matrix& mask, double dropout,
                    Rng* rng, bool training) const;
   void CollectParameters(std::vector<Variable>* out) override;
+  void PrepareQuantInference() override;
 
  private:
   MultiHeadSelfAttention attention_;

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -98,6 +99,15 @@ std::string& TraceExportPathSlot() {
   return *path;
 }
 
+/// Run metadata exported as the trace's "otherData" object. Sorted map so
+/// the JSON is deterministic; leaks like the buffer registry (writers may
+/// run during static destruction).
+std::mutex g_trace_metadata_mu;
+std::map<std::string, std::string>& TraceMetadataSlot() {
+  static auto* metadata = new std::map<std::string, std::string>();
+  return *metadata;
+}
+
 struct TraceEnvInit {
   TraceEnvInit() {
     if (const char* env = std::getenv("SEMTAG_TRACE");
@@ -146,6 +156,11 @@ void SetTraceEnabled(bool on) {
 void SetTraceExportPath(std::string path) {
   std::lock_guard<std::mutex> lock(g_trace_export_mu);
   TraceExportPathSlot() = std::move(path);
+}
+
+void SetTraceMetadata(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(g_trace_metadata_mu);
+  TraceMetadataSlot()[key] = value;
 }
 
 std::string TraceExportPath() {
@@ -247,7 +262,26 @@ std::string TraceToJson() {
     }
     out += "}";
   }
-  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  out += "\n], \"displayTimeUnit\": \"ms\"";
+  {
+    std::lock_guard<std::mutex> lock(g_trace_metadata_mu);
+    const auto& metadata = TraceMetadataSlot();
+    if (!metadata.empty()) {
+      out += ", \"otherData\": {";
+      bool first = true;
+      for (const auto& [key, value] : metadata) {
+        if (!first) out += ", ";
+        first = false;
+        out += "\"";
+        AppendEscaped(&out, key.c_str());
+        out += "\": \"";
+        AppendEscaped(&out, value.c_str());
+        out += "\"";
+      }
+      out += "}";
+    }
+  }
+  out += "}\n";
   return out;
 }
 
