@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 
 #ifdef __unix__
+#include <csignal>
 #include <unistd.h>
 #endif
 
@@ -28,7 +29,7 @@ struct ArmedFault {
 struct Registry {
   std::mutex mu;
   std::vector<ArmedFault> faults;
-  int trigger_counts[6] = {0, 0, 0, 0, 0, 0};
+  int trigger_counts[kNumFaultPoints] = {};
   bool env_loaded = false;
 };
 
@@ -47,6 +48,9 @@ Result<FaultPoint> PointFromName(std::string_view name) {
   if (name == "nan_grad") return FaultPoint::kNonFiniteGrad;
   if (name == "stall") return FaultPoint::kStall;
   if (name == "crash") return FaultPoint::kCrash;
+  if (name == "kill_self") return FaultPoint::kKillSelf;
+  if (name == "lease_stall") return FaultPoint::kLeaseStall;
+  if (name == "claim_race") return FaultPoint::kClaimRace;
   return Status::InvalidArgument("unknown fault point: " + std::string(name));
 }
 
@@ -83,6 +87,12 @@ const char* FaultPointName(FaultPoint point) {
       return "stall";
     case FaultPoint::kCrash:
       return "crash";
+    case FaultPoint::kKillSelf:
+      return "kill_self";
+    case FaultPoint::kLeaseStall:
+      return "lease_stall";
+    case FaultPoint::kClaimRace:
+      return "claim_race";
   }
   return "?";
 }
@@ -191,7 +201,9 @@ bool FaultInjected(FaultPoint point, std::string_view context) {
       ++armed.triggered;
       ++r.trigger_counts[static_cast<int>(point)];
       triggered = true;
-      if (point == FaultPoint::kStall) stall_ms = s.ms;
+      if (point == FaultPoint::kStall || point == FaultPoint::kLeaseStall) {
+        stall_ms = s.ms;
+      }
       break;
     }
   }
@@ -205,6 +217,15 @@ bool FaultInjected(FaultPoint point, std::string_view context) {
   if (point == FaultPoint::kCrash) {
 #ifdef __unix__
     _exit(137);
+#else
+    std::abort();
+#endif
+  }
+  if (point == FaultPoint::kKillSelf) {
+    // A real SIGKILL, not _exit: the coordinator's waitpid must observe
+    // WIFSIGNALED exactly as it would for an OOM kill or operator kill -9.
+#ifdef __unix__
+    ::raise(SIGKILL);
 #else
     std::abort();
 #endif

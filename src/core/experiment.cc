@@ -1,9 +1,11 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 
 #include "common/csv.h"
 #include "common/fault.h"
@@ -141,11 +143,15 @@ std::string SerializeCache(
     const std::map<std::string, ExperimentResult>& entries) {
   CsvWriter writer;
   for (const auto& [k, r] : entries) {
-    writer.AddRow({k, r.dataset, r.model, StrFormat("%.6f", r.f1),
-                   StrFormat("%.6f", r.precision),
-                   StrFormat("%.6f", r.recall),
-                   StrFormat("%.6f", r.accuracy), StrFormat("%.6f", r.auc),
-                   StrFormat("%.6f", r.calibrated_f1),
+    // %.17g round-trips every double exactly, so a cache replay is
+    // bit-identical to the run that produced it — the property the sharded
+    // merge (core/shard.cc) relies on when it falls back to cached cells.
+    writer.AddRow({k, r.dataset, r.model, StrFormat("%.17g", r.f1),
+                   StrFormat("%.17g", r.precision),
+                   StrFormat("%.17g", r.recall),
+                   StrFormat("%.17g", r.accuracy),
+                   StrFormat("%.17g", r.auc),
+                   StrFormat("%.17g", r.calibrated_f1),
                    StrFormat("%.4f", r.train_seconds),
                    std::to_string(r.train_size),
                    std::to_string(r.test_size),
@@ -156,6 +162,53 @@ std::string SerializeCache(
 }
 
 }  // namespace
+
+void TallyOutcomes(RunReport* report) {
+  report->ok = report->cached = report->retried = 0;
+  report->timed_out = report->failed = 0;
+  for (const auto& r : report->results) {
+    switch (r.outcome) {
+      case CellOutcome::kOk: ++report->ok; break;
+      case CellOutcome::kCached: ++report->cached; break;
+      case CellOutcome::kRetried: ++report->retried; break;
+      case CellOutcome::kTimedOut: ++report->timed_out; break;
+      case CellOutcome::kFailed: ++report->failed; break;
+    }
+  }
+}
+
+std::vector<GridCell> EnumerateGrid(
+    const std::vector<data::DatasetSpec>& specs,
+    const std::vector<models::ModelKind>& kinds) {
+  // Claim-priority rank of a model family: simple counting/linear models
+  // are orders of magnitude cheaper per cell than fine-tuned transformers,
+  // so they go first.
+  const auto rank = [](models::ModelKind kind) {
+    return models::IsDeep(kind) ? 2 : (kind == models::ModelKind::kLrEmbedding ||
+                                       kind == models::ModelKind::kSvmEmbedding)
+                                          ? 1
+                                          : 0;
+  };
+  std::vector<models::ModelKind> ordered = kinds;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](models::ModelKind a, models::ModelKind b) {
+                     return rank(a) < rank(b);
+                   });
+  std::vector<GridCell> cells;
+  cells.reserve(specs.size() * ordered.size());
+  std::set<std::string> seen;
+  for (models::ModelKind kind : ordered) {
+    for (const auto& spec : specs) {
+      GridCell cell;
+      cell.spec = spec;
+      cell.kind = kind;
+      cell.id = spec.name + "/" + models::ModelKindName(kind);
+      SEMTAG_CHECK(seen.insert(cell.id).second);
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
 
 const char* CellOutcomeName(CellOutcome outcome) {
   switch (outcome) {
@@ -400,15 +453,7 @@ RunReport ExperimentRunner::RunMany(
       report.results[i] = Run(specs[i], kind);
     }
   });
-  for (const auto& r : report.results) {
-    switch (r.outcome) {
-      case CellOutcome::kOk: ++report.ok; break;
-      case CellOutcome::kCached: ++report.cached; break;
-      case CellOutcome::kRetried: ++report.retried; break;
-      case CellOutcome::kTimedOut: ++report.timed_out; break;
-      case CellOutcome::kFailed: ++report.failed; break;
-    }
-  }
+  TallyOutcomes(&report);
   if (!report.all_ok()) {
     SEMTAG_LOG(kWarning,
                "%s sweep: %d ok, %d cached, %d retried, %d timed out, "

@@ -56,6 +56,31 @@ struct RunReport {
   bool all_ok() const { return timed_out == 0 && failed == 0; }
 };
 
+/// Recomputes the outcome counts of `report` from its `results`. Shared by
+/// RunMany and the sharded coordinator's cross-worker report merge, so both
+/// tally identically.
+void TallyOutcomes(RunReport* report);
+
+/// One claimable unit of a sharded sweep: a (dataset, model) cell plus its
+/// stable id ("<dataset>/<model>"), the currency of the shard lease
+/// journal (core/shard.h).
+struct GridCell {
+  data::DatasetSpec spec;
+  models::ModelKind kind;
+  std::string id;
+};
+
+/// Enumerates the full specs x models grid in claim order: cheap model
+/// families first (NB/LR/SVM/XGB, then embedding hybrids, then deep), specs
+/// in the given order within a family. Scheduling simple-model cells first
+/// makes early failures cheap to retry and frees deep cells to the tail
+/// where reclaim cost dominates ("Small Language Models are Good Too",
+/// PAPERS.md). Cell ids are unique; duplicate (spec, model) pairs are
+/// rejected with an abort since the lease journal keys on the id.
+std::vector<GridCell> EnumerateGrid(
+    const std::vector<data::DatasetSpec>& specs,
+    const std::vector<models::ModelKind>& kinds);
+
 /// Trains `kind` on `train`, evaluates on `test`, and fills every metric.
 /// `cancel` (optional) is polled cooperatively inside the training loop;
 /// on deadline/cancellation the result carries outcome kTimedOut, on a

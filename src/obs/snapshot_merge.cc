@@ -1,0 +1,136 @@
+#include "obs/snapshot_merge.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/validate.h"
+
+namespace semtag::obs {
+
+namespace {
+
+MergeOutcome Fail(std::string error) {
+  MergeOutcome out;
+  out.error = std::move(error);
+  return out;
+}
+
+struct HistAcc {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  bool any = false;  // min/max only meaningful once a non-empty input lands
+};
+
+}  // namespace
+
+MergeOutcome MergeMetricsJson(const std::vector<std::string>& contents) {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistAcc> hists;
+  for (size_t i = 0; i < contents.size(); ++i) {
+    const ValidationResult check = ValidateMetricsJson(contents[i]);
+    if (!check.ok) {
+      return Fail("snapshot " + std::to_string(i) + ": " + check.error);
+    }
+    JsonValue root;
+    std::string err;
+    if (!ParseJson(contents[i], &root, &err)) {
+      return Fail("snapshot " + std::to_string(i) + ": " + err);
+    }
+    if (const JsonValue* obj = root.Find("counters"); obj != nullptr) {
+      for (const auto& [name, v] : obj->object) {
+        counters[name] += static_cast<uint64_t>(v.number);
+      }
+    }
+    if (const JsonValue* obj = root.Find("gauges"); obj != nullptr) {
+      for (const auto& [name, v] : obj->object) {
+        gauges[name] += v.number;
+      }
+    }
+    const JsonValue* obj = root.Find("histograms");
+    if (obj == nullptr) continue;
+    for (const auto& [name, v] : obj->object) {
+      const JsonValue* bounds = v.Find("bounds");
+      const JsonValue* counts = v.Find("counts");
+      const JsonValue* count = v.Find("count");
+      const JsonValue* sum = v.Find("sum");
+      const JsonValue* min = v.Find("min");
+      const JsonValue* max = v.Find("max");
+      HistAcc& acc = hists[name];
+      if (acc.bounds.empty() && acc.counts.empty()) {
+        acc.bounds.reserve(bounds->array.size());
+        for (const auto& b : bounds->array) acc.bounds.push_back(b.number);
+        acc.counts.assign(counts->array.size(), 0);
+      } else if (acc.bounds.size() != bounds->array.size()) {
+        return Fail("histogram '" + name + "': bucket-count mismatch across "
+                    "snapshots (workers ran different code?)");
+      } else {
+        for (size_t j = 0; j < acc.bounds.size(); ++j) {
+          if (acc.bounds[j] != bounds->array[j].number) {
+            return Fail("histogram '" + name + "': bound mismatch across "
+                        "snapshots (workers ran different code?)");
+          }
+        }
+      }
+      for (size_t j = 0; j < acc.counts.size(); ++j) {
+        acc.counts[j] += static_cast<uint64_t>(counts->array[j].number);
+      }
+      const uint64_t n = static_cast<uint64_t>(count->number);
+      acc.count += n;
+      acc.sum += sum->number;
+      if (n > 0) {
+        const double lo = min != nullptr ? min->number : 0.0;
+        const double hi = max != nullptr ? max->number : 0.0;
+        if (!acc.any) {
+          acc.min = lo;
+          acc.max = hi;
+          acc.any = true;
+        } else {
+          acc.min = std::min(acc.min, lo);
+          acc.max = std::max(acc.max, hi);
+        }
+      }
+    }
+  }
+  MergeOutcome out;
+  out.ok = true;
+  out.inputs = static_cast<int>(contents.size());
+  for (const auto& [name, v] : counters) {
+    out.merged.counters.emplace_back(name, v);
+  }
+  for (const auto& [name, v] : gauges) {
+    out.merged.gauges.emplace_back(name, v);
+  }
+  for (auto& [name, acc] : hists) {
+    HistogramSnapshot hs;
+    hs.bounds = std::move(acc.bounds);
+    hs.counts = std::move(acc.counts);
+    hs.count = acc.count;
+    hs.sum = acc.sum;
+    hs.min = acc.any ? acc.min : 0.0;
+    hs.max = acc.any ? acc.max : 0.0;
+    out.merged.histograms.emplace_back(name, std::move(hs));
+  }
+  return out;
+}
+
+MergeOutcome MergeMetricsFiles(const std::vector<std::string>& paths) {
+  std::vector<std::string> contents;
+  contents.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Fail("cannot read " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    contents.push_back(std::move(buf).str());
+  }
+  return MergeMetricsJson(contents);
+}
+
+}  // namespace semtag::obs

@@ -1,0 +1,42 @@
+#ifndef SEMTAG_OBS_SNAPSHOT_MERGE_H_
+#define SEMTAG_OBS_SNAPSHOT_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace semtag::obs {
+
+/// Cross-process metrics merge: combines the `semtag-metrics-v1` snapshots
+/// exported by N worker processes into one snapshot, exactly as if a single
+/// process had recorded everything.
+///
+/// Merge semantics mirror the in-process shard merge of the registry:
+///  - counters sum;
+///  - gauges sum (worker gauges are Add-accumulated busy-time style values;
+///    a Set-style gauge should be published by exactly one process);
+///  - histograms with identical bounds merge bucket-wise: counts and sums
+///    add, min/max extend. Bounds mismatch for the same name is an error —
+///    it means the workers ran different code, not different data.
+///
+/// All accumulation is integral (counters, bucket counts) or derived from
+/// the fixed-point sums the registry already emits, so the merged snapshot
+/// is deterministic in the merge order of its inputs.
+struct MergeOutcome {
+  bool ok = false;
+  std::string error;   // first problem found; empty when ok
+  MetricsSnapshot merged;
+  int inputs = 0;      // snapshots merged
+};
+
+/// Merges already-read snapshot JSON documents.
+MergeOutcome MergeMetricsJson(const std::vector<std::string>& contents);
+
+/// Reads and merges snapshot files; a missing or invalid file fails the
+/// whole merge (a partial merge would silently under-count).
+MergeOutcome MergeMetricsFiles(const std::vector<std::string>& paths);
+
+}  // namespace semtag::obs
+
+#endif  // SEMTAG_OBS_SNAPSHOT_MERGE_H_

@@ -1,8 +1,10 @@
+#include <unistd.h>
 #include <cstdlib>
 #include <filesystem>
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
 #include "core/experiment.h"
 #include "data/generator.h"
 #include "models/deep/bert_cache.h"
@@ -26,9 +28,14 @@ class ExperimentTest : public ::testing::Test {
  protected:
   void SetUp() override {
     // Point the cache at a fresh temp dir so tests never collide with the
-    // bench suite's results.
+    // bench suite's results — unique per test and per process, because
+    // ctest -j runs each test as its own process and concurrent fixtures
+    // sharing a directory would remove_all each other's cache mid-test.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
     cache_dir_ = (std::filesystem::temp_directory_path() /
-                  "semtag_experiment_test")
+                  StrFormat("semtag_experiment_%s_%d", info->name(),
+                            static_cast<int>(getpid())))
                      .string();
     std::filesystem::remove_all(cache_dir_);
     setenv("SEMTAG_CACHE_DIR", cache_dir_.c_str(), 1);
@@ -68,7 +75,7 @@ TEST_F(ExperimentTest, RunOnCachesAcrossRunnerInstances) {
   ExperimentRunner second(true);
   const ExperimentResult b =
       second.RunOn("exp_cache_test", train, test, models::ModelKind::kLr);
-  EXPECT_NEAR(a.f1, b.f1, 1e-5);  // cache stores %.6f
+  EXPECT_DOUBLE_EQ(a.f1, b.f1);  // cache stores %.17g (exact)
   EXPECT_NEAR(a.train_seconds, b.train_seconds, 1e-3);
   EXPECT_TRUE(std::filesystem::exists(cache_dir_ + "/results.csv"));
 }

@@ -27,8 +27,14 @@ namespace {
 class RecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Unique per test and per process: ctest -j runs each test as its
+    // own process, and concurrent fixtures sharing a directory would
+    // remove_all each other's cache mid-test.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
     cache_dir_ = (std::filesystem::temp_directory_path() /
-                  "semtag_recovery_test")
+                  StrFormat("semtag_recovery_%s_%d", info->name(),
+                            static_cast<int>(getpid())))
                      .string();
     std::filesystem::remove_all(cache_dir_);
     setenv("SEMTAG_CACHE_DIR", cache_dir_.c_str(), 1);
@@ -213,7 +219,7 @@ TEST_F(RecoveryTest, KilledSweepResumesBitIdentical) {
     EXPECT_EQ(report.ok, 2);
   }
   // Bit-identity: replay both sweeps fully from their caches (so both
-  // sides went through the same %.6f round trip) and compare every metric.
+  // sides went through the same %.17g round trip) and compare every metric.
   ExperimentRunner replay_interrupted(true);
   setenv("SEMTAG_CACHE_DIR", ref_dir.c_str(), 1);
   ExperimentRunner replay_ref(true);

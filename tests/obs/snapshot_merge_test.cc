@@ -1,0 +1,147 @@
+// Cross-process snapshot merge: counters sum, gauges sum, histograms merge
+// bucket-wise, and structural disagreements (different bounds for the same
+// name) fail loudly instead of under-counting.
+
+#include <filesystem>
+#include <cstring>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/snapshot_merge.h"
+#include "obs/validate.h"
+
+namespace semtag::obs {
+namespace {
+
+class SnapshotMergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabled(true);
+    ResetMetricsForTest();
+  }
+  void TearDown() override {
+    ResetMetricsForTest();
+    SetMetricsEnabled(false);
+  }
+
+  /// Exports the live registry as one worker's snapshot, then clears it —
+  /// exactly what a shard worker process does before _exit.
+  std::string TakeSnapshot() {
+    std::string json = MetricsToJson(SnapshotMetrics());
+    ResetMetricsForTest();
+    return json;
+  }
+};
+
+uint64_t CounterValue(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double GaugeValue(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) return v;
+  }
+  return -1.0;
+}
+
+const HistogramSnapshot* FindHistogram(const MetricsSnapshot& snap,
+                                       const std::string& name) {
+  for (const auto& [n, h] : snap.histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST_F(SnapshotMergeTest, CountersAndGaugesSumAcrossSnapshots) {
+  GetCounter("cells").Add(3);
+  GetGauge("busy_ms").Add(100.0);
+  const std::string a = TakeSnapshot();
+  GetCounter("cells").Add(4);
+  GetCounter("reclaims").Add(1);
+  GetGauge("busy_ms").Add(50.0);
+  const std::string b = TakeSnapshot();
+
+  const MergeOutcome out = MergeMetricsJson({a, b});
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_EQ(out.inputs, 2);
+  EXPECT_EQ(CounterValue(out.merged, "cells"), 7u);
+  EXPECT_EQ(CounterValue(out.merged, "reclaims"), 1u);
+  // Name-based lookup: earlier tests in this binary may have registered
+  // other gauges, which survive ResetMetricsForTest at value zero.
+  EXPECT_NEAR(GaugeValue(out.merged, "busy_ms"), 150.0, 1e-6);
+  // The merged snapshot is itself a valid v1 document.
+  EXPECT_TRUE(ValidateMetricsJson(MetricsToJson(out.merged)).ok);
+}
+
+TEST_F(SnapshotMergeTest, HistogramsMergeBucketWise) {
+  const std::vector<double> bounds = {1.0, 10.0, 100.0};
+  GetHistogram("lat", bounds).ObserveAlways(0.5);
+  GetHistogram("lat", bounds).ObserveAlways(5.0);
+  const std::string a = TakeSnapshot();
+  GetHistogram("lat", bounds).ObserveAlways(50.0);
+  GetHistogram("lat", bounds).ObserveAlways(500.0);
+  const std::string b = TakeSnapshot();
+
+  const MergeOutcome out = MergeMetricsJson({a, b});
+  ASSERT_TRUE(out.ok) << out.error;
+  const HistogramSnapshot* found = FindHistogram(out.merged, "lat");
+  ASSERT_NE(found, nullptr);
+  const HistogramSnapshot& h = *found;
+  EXPECT_EQ(h.count, 4u);
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_NEAR(h.sum, 555.5, 1e-6);
+  EXPECT_NEAR(h.min, 0.5, 1e-9);
+  EXPECT_NEAR(h.max, 500.0, 1e-9);
+}
+
+TEST_F(SnapshotMergeTest, BoundsMismatchFailsTheMerge) {
+  GetHistogram("lat_mm", {1.0, 10.0}).ObserveAlways(2.0);
+  const std::string a = TakeSnapshot();
+  // A worker running different code would register "lat" with different
+  // bounds; the registry pins bounds per name in-process, so fake the
+  // second process by editing its exported document.
+  std::string b = a;
+  const size_t pos = b.find("\"bounds\": [1, 10]");
+  ASSERT_NE(pos, std::string::npos) << b;
+  b.replace(pos, strlen("\"bounds\": [1, 10]"), "\"bounds\": [1, 20]");
+  const MergeOutcome out = MergeMetricsJson({a, b});
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("lat_mm"), std::string::npos);
+}
+
+TEST_F(SnapshotMergeTest, InvalidSnapshotFailsTheMerge) {
+  GetCounter("cells").Add(1);
+  const std::string good = TakeSnapshot();
+  const MergeOutcome out = MergeMetricsJson({good, "{\"schema\": \"v0\"}"});
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("snapshot 1"), std::string::npos);
+}
+
+TEST_F(SnapshotMergeTest, MergesFilesAndRejectsMissingOnes) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "semtag_merge_a.json").string();
+  GetCounter("cells").Add(2);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << TakeSnapshot();
+  }
+  const MergeOutcome ok = MergeMetricsFiles({path});
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(CounterValue(ok.merged, "cells"), 2u);
+  const MergeOutcome missing =
+      MergeMetricsFiles({path, (dir / "semtag_merge_nope.json").string()});
+  EXPECT_FALSE(missing.ok);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace semtag::obs
