@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -14,6 +15,16 @@ const char* LibraryBuildType() {
 #else
   return "debug";
 #endif
+}
+
+int HostCores() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+std::string JsonContextFields() {
+  return StrFormat("  \"build\": \"%s\",\n  \"host_cores\": %d,",
+                   LibraryBuildType(), HostCores());
 }
 
 void BenchSetup(const std::string& title, const std::string& paper_ref) {

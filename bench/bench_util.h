@@ -16,6 +16,17 @@ namespace semtag::bench {
 /// carries the build type of the numbers it holds.
 const char* LibraryBuildType();
 
+/// Hardware threads on this host. Every emitted BENCH_*.json stamps it
+/// (benchmark mains via AddCustomContext, hand-rolled emitters via
+/// JsonContextFields) so recorded numbers are interpretable relative to
+/// the machine that produced them.
+int HostCores();
+
+/// The standard context fields every hand-rolled BENCH_*.json carries:
+///   "build": "<release|debug>",\n  "host_cores": <n>,
+/// (two indented lines, trailing comma, no surrounding braces).
+std::string JsonContextFields();
+
 /// Standard bench preamble: quiets INFO logging (keeps tables clean),
 /// prints the header naming the experiment being reproduced, and warns
 /// loudly when the binary is a debug build (timings meaningless).

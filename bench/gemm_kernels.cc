@@ -667,6 +667,8 @@ int main(int argc, char** argv) {
   // refuse to let debug numbers land silently.
   benchmark::AddCustomContext("semtag_build_type",
                               semtag::bench::LibraryBuildType());
+  benchmark::AddCustomContext("host_cores",
+                              std::to_string(semtag::bench::HostCores()));
 #ifndef NDEBUG
   std::printf("*** WARNING: DEBUG build — timings are not meaningful and\n"
               "*** must not be recorded in BENCH_*.json. Reconfigure with\n"

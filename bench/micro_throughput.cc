@@ -346,6 +346,8 @@ int main(int argc, char** argv) {
   // numbers come from a debug build (see bench_util.cc).
   benchmark::AddCustomContext("semtag_build_type",
                               semtag::bench::LibraryBuildType());
+  benchmark::AddCustomContext("host_cores",
+                              std::to_string(semtag::bench::HostCores()));
 #ifndef NDEBUG
   std::printf("*** WARNING: DEBUG build — timings are not meaningful and\n"
               "*** must not be recorded in BENCH_*.json. Reconfigure with\n"

@@ -111,8 +111,7 @@ int Main(int argc, char** argv) {
   std::filesystem::remove_all(tmp);
   setenv("SEMTAG_CACHE_DIR", (tmp + "/cache").c_str(), 1);
   const auto cells = BenchGrid(cells_n);
-  const int host_cores =
-      static_cast<int>(std::thread::hardware_concurrency());
+  const int host_cores = bench::HostCores();
 
   // Stall-bound regime: the injected stall fires inside every cell of
   // every worker process (fault registry state is inherited across fork).
@@ -140,13 +139,11 @@ int Main(int argc, char** argv) {
               host_cores);
 
   std::string json = "{\n";
-  json += StrFormat("  \"bench\": \"shard_grid\",\n"
-                    "  \"build\": \"%s\",\n"
-                    "  \"host_cores\": %d,\n"
-                    "  \"grid_cells\": %zu,\n"
+  json += "  \"bench\": \"shard_grid\",\n";
+  json += bench::JsonContextFields() + "\n";
+  json += StrFormat("  \"grid_cells\": %zu,\n"
                     "  \"workers\": %d,\n",
-                    bench::LibraryBuildType(), host_cores, cells.size(),
-                    workers);
+                    cells.size(), workers);
   const auto regime = [](const char* name, const RegimeResult& r,
                          bool last) {
     return StrFormat("  \"%s\": {\"wall_s_1w\": %.3f, \"wall_s_%s\": %.3f, "

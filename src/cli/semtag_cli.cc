@@ -16,7 +16,10 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
 #include "core/advisor.h"
+#include "core/cascade.h"
 #include "core/characteristics.h"
 #include "data/io.h"
 #include "eval/calibration.h"
@@ -36,7 +39,9 @@ int Usage() {
       "  semtag profile  --data <csv>\n"
       "  semtag train    --data <csv> --model LR|SVM --out <file>\n"
       "  semtag evaluate --saved <file> --data <csv>\n"
-      "  semtag predict  --saved <file> --data <csv> [--explain]\n");
+      "  semtag predict  --saved <file> --data <csv> [--explain]\n"
+      "  semtag cascade  --data <csv> [--budget <F1 pts>] "
+      "[--pair <S>+<D>|simple]\n");
   return 2;
 }
 
@@ -233,6 +238,96 @@ int Predict(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Trains the confidence-gated cascade on 80% of the CSV and reports the
+/// calibrated threshold, the escalation rate, and held-out F1 against
+/// always-deep. Flags override $SEMTAG_CASCADE / $SEMTAG_CASCADE_BUDGET.
+int CascadeCmd(const std::map<std::string, std::string>& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  core::EnsureCascadeRegistered();
+  core::CascadeOptions options = core::CascadeOptionsFromEnv();
+  if (const auto it = flags.find("budget"); it != flags.end()) {
+    double pts = 0.0;
+    if (!ParseDouble(it->second, &pts) || pts < 0.0 || pts > 100.0) {
+      std::fprintf(stderr, "--budget must be an F1-point value in [0, 100]\n");
+      return 2;
+    }
+    options.budget_pts = pts;
+  }
+  if (const auto it = flags.find("pair"); it != flags.end()) {
+    if (it->second == "simple") {
+      options.force_simple_only = true;
+      options.auto_pair = false;
+    } else {
+      const size_t plus = it->second.rfind('+');
+      const auto simple = plus == std::string::npos
+                              ? Status::InvalidArgument("no '+'")
+                              : models::ModelKindFromName(
+                                    it->second.substr(0, plus));
+      const auto deep = plus == std::string::npos
+                            ? Status::InvalidArgument("no '+'")
+                            : models::ModelKindFromName(
+                                  it->second.substr(plus + 1));
+      if (!simple.ok() || !deep.ok() || !models::IsDeep(*deep) ||
+          models::IsDeep(*simple)) {
+        std::fprintf(stderr,
+                     "--pair must be <simple>+<deep> (e.g. SVM+BERT) or "
+                     "simple\n");
+        return 2;
+      }
+      options.simple = *simple;
+      options.deep = *deep;
+      options.auto_pair = false;
+      options.allow_simple_only = false;
+    }
+  }
+
+  data::Dataset data = std::move(dataset).ValueOrDie();
+  Rng rng(13);
+  data.Shuffle(&rng);
+  auto [train, test] = data.Split(0.8);
+  core::Cascade model(options);
+  if (const Status st = model.Train(train); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const core::CascadePlan& plan = model.plan();
+  const core::CascadeCalibration& cal = model.calibration();
+  std::printf("plan        %s", models::ModelKindName(plan.simple));
+  if (!plan.simple_only) {
+    std::printf(" -> %s", models::ModelKindName(plan.deep));
+  }
+  std::printf("%s\n", plan.simple_only ? " (simple only)" : "");
+  std::printf("rationale   %s\n", plan.rationale.c_str());
+  std::printf("trained in  %.2fs on %zu records\n", model.train_seconds(),
+              train.size());
+  if (!plan.simple_only) {
+    std::printf("threshold   %.4f (budget %.2f F1 pts)\n", cal.threshold,
+                options.budget_pts);
+    std::printf("holdout     F1 %.3f cascade vs %.3f deep vs %.3f simple, "
+                "%.1f%% escalated\n",
+                cal.cascade_f1, cal.deep_f1, cal.simple_f1,
+                100 * cal.escalation_fraction);
+  }
+
+  const auto texts = test.Texts();
+  const auto labels = test.Labels();
+  const auto scores = model.ScoreAll(texts);
+  const auto preds = eval::ThresholdScores(scores, model.DecisionThreshold());
+  const auto confusion = eval::ComputeConfusion(labels, preds);
+  const auto mask = model.EscalationMask(texts);
+  size_t escalated = 0;
+  for (uint8_t m : mask) escalated += m;
+  std::printf("test        F1 %.3f on %zu records, %.1f%% escalated\n",
+              confusion.F1(), test.size(),
+              test.empty() ? 0.0 : 100.0 * escalated / test.size());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
   if (argc < 2) return Usage();
@@ -246,6 +341,7 @@ int Main(int argc, char** argv) {
   if (command == "train") return TrainCmd(flags);
   if (command == "evaluate") return Evaluate(flags);
   if (command == "predict") return Predict(flags);
+  if (command == "cascade" || command == "--cascade") return CascadeCmd(flags);
   return Usage();
 }
 

@@ -58,7 +58,55 @@ std::string HumanCount(int64_t n) {
   return std::to_string(n);
 }
 
+/// Reference rows scored by distance to a profile in characteristic space
+/// (log-size, scaled ratio, cleanliness penalty), nearest first.
+struct ScoredRow {
+  double distance;
+  const HeatMapRow* row;
+};
+
+std::vector<ScoredRow> NearestRows(const DatasetProfile& p,
+                                   const std::vector<HeatMapRow>& reference) {
+  std::vector<ScoredRow> scored;
+  scored.reserve(reference.size());
+  for (const auto& row : reference) {
+    const double dsize = std::log10(std::max<int64_t>(p.num_records, 1)) -
+                         std::log10(std::max<int64_t>(row.paper_records, 1));
+    const double dratio = (p.positive_ratio - row.ratio) * 4.0;
+    const double dclean = (p.labels_clean == row.clean) ? 0.0 : 1.5;
+    scored.push_back(
+        {std::sqrt(dsize * dsize + dratio * dratio) + dclean, &row});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredRow& a, const ScoredRow& b) {
+              return a.distance < b.distance;
+            });
+  return scored;
+}
+
 }  // namespace
+
+HeatMapPoint InterpolateHeatMap(const DatasetProfile& profile,
+                                const std::vector<HeatMapRow>& reference,
+                                int k) {
+  HeatMapPoint point;
+  const std::vector<ScoredRow> scored = NearestRows(profile, reference);
+  const size_t n = std::min<size_t>(std::max(k, 1), scored.size());
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const HeatMapRow& row = *scored[i].row;
+    const double w = 1.0 / (scored[i].distance + 1e-6);
+    point.bert_f1 += w * row.bert_f1;
+    point.svm_f1 += w * row.svm_f1;
+    weight_sum += w;
+    point.neighbors.push_back(row.dataset);
+  }
+  if (weight_sum > 0.0) {
+    point.bert_f1 /= weight_sum;
+    point.svm_f1 /= weight_sum;
+  }
+  return point;
+}
 
 std::string RenderHeatMap(const std::vector<HeatMapRow>& rows, bool color) {
   std::string out;
@@ -128,23 +176,7 @@ Advice RecommendModel(const AdviceRequest& request,
   }
 
   // Expected F1 band: 3 nearest reference datasets in characteristic space.
-  struct Scored {
-    double distance;
-    const HeatMapRow* row;
-  };
-  std::vector<Scored> scored;
-  for (const auto& row : reference) {
-    const double dsize = std::log10(std::max<int64_t>(p.num_records, 1)) -
-                         std::log10(std::max<int64_t>(row.paper_records, 1));
-    const double dratio = (p.positive_ratio - row.ratio) * 4.0;
-    const double dclean = (p.labels_clean == row.clean) ? 0.0 : 1.5;
-    scored.push_back(
-        {std::sqrt(dsize * dsize + dratio * dratio) + dclean, &row});
-  }
-  std::sort(scored.begin(), scored.end(),
-            [](const Scored& a, const Scored& b) {
-              return a.distance < b.distance;
-            });
+  const std::vector<ScoredRow> scored = NearestRows(p, reference);
   const size_t k = std::min<size_t>(3, scored.size());
   advice.expected_f1_low = 1.0;
   advice.expected_f1_high = 0.0;

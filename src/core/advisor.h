@@ -34,6 +34,23 @@ std::vector<HeatMapRow> PaperHeatMap();
 std::string RenderHeatMap(const std::vector<HeatMapRow>& rows,
                           bool color = true);
 
+/// The heat map evaluated at an arbitrary profile: expected deep and
+/// simple F1 interpolated from the k nearest reference datasets in
+/// (log-size, ratio, cleanliness) space, inverse-distance weighted.
+struct HeatMapPoint {
+  double bert_f1 = 0.0;
+  double svm_f1 = 0.0;
+  /// Reference datasets the estimate interpolates, nearest first.
+  std::vector<std::string> neighbors;
+};
+
+/// Interpolates the reference heat map at `profile` — the primitive under
+/// both RecommendModel's F1 band and the cascade policy's per-cell
+/// simple/deep choice (core/cascade.h).
+HeatMapPoint InterpolateHeatMap(const DatasetProfile& profile,
+                                const std::vector<HeatMapRow>& reference,
+                                int k = 3);
+
 /// What the practitioner tells the Advisor about their task.
 struct AdviceRequest {
   DatasetProfile profile;

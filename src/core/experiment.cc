@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/cascade.h"
 #include "eval/calibration.h"
 #include "eval/metrics.h"
 #include "models/deep/bert_cache.h"
@@ -184,10 +185,16 @@ std::vector<GridCell> EnumerateGrid(
   // are orders of magnitude cheaper per cell than fine-tuned transformers,
   // so they go first.
   const auto rank = [](models::ModelKind kind) {
-    return models::IsDeep(kind) ? 2 : (kind == models::ModelKind::kLrEmbedding ||
-                                       kind == models::ModelKind::kSvmEmbedding)
-                                          ? 1
-                                          : 0;
+    if (models::IsDeep(kind)) return 2;
+    // The cascade and the embedding hybrids sit between the counting
+    // models and the transformers: they may train a deep tier, but only
+    // on a fit split and only when the policy keeps it.
+    if (kind == models::ModelKind::kLrEmbedding ||
+        kind == models::ModelKind::kSvmEmbedding ||
+        kind == models::ModelKind::kCascade) {
+      return 1;
+    }
+    return 0;
   };
   std::vector<models::ModelKind> ordered = kinds;
   std::stable_sort(ordered.begin(), ordered.end(),
@@ -228,6 +235,19 @@ std::string ExperimentCacheKey(const data::DatasetSpec& spec,
   h = FnvMix(h, HashDouble(spec.paper_positive));
   h = FnvMix(h, HashDouble(spec.train_fraction));
   h = FnvMix(h, kRunnerVersion);
+  if (kind == models::ModelKind::kCascade) {
+    // A cascade cell's result depends on the cascade configuration, not
+    // just the dataset: fold it in so SEMTAG_CASCADE/SEMTAG_CASCADE_BUDGET
+    // changes miss the cache instead of replaying stale cells.
+    const CascadeOptions opt = CascadeOptionsFromEnv(seed);
+    h = FnvMix(h, static_cast<uint64_t>(opt.simple));
+    h = FnvMix(h, static_cast<uint64_t>(opt.deep));
+    h = FnvMix(h, HashDouble(opt.budget_pts));
+    h = FnvMix(h, HashDouble(opt.holdout_fraction));
+    h = FnvMix(h, (opt.auto_pair ? 1u : 0u) |
+                      (opt.allow_simple_only ? 2u : 0u) |
+                      (opt.force_simple_only ? 4u : 0u));
+  }
   return StrFormat("%s|%s|s%" PRIu64 "|%016" PRIx64, spec.name.c_str(),
                    models::ModelKindName(kind), seed, h);
 }
@@ -270,6 +290,7 @@ ExperimentResult TrainAndEvaluate(const data::Dataset& train,
   FaultInjected(FaultPoint::kStall, cell);
   FaultInjected(FaultPoint::kCrash, cell);
 
+  if (kind == models::ModelKind::kCascade) EnsureCascadeRegistered();
   auto model = models::CreateModelSeeded(kind, seed);
   SEMTAG_CHECK(model != nullptr);
   model->set_cancellation(cancel);

@@ -529,13 +529,25 @@ ShardConfig ShardConfig::Current(uint64_t seed) {
   config.simd = la::SimdLevelName(la::ActiveSimdLevel());
   config.deep_batch = models::DeepBatchLimit();
   config.quant = la::QuantInferenceEnabled() ? 1 : 0;
+  if (const char* env = std::getenv("SEMTAG_CASCADE");
+      env != nullptr && *env != '\0') {
+    config.cascade = env;
+  }
+  if (const char* env = std::getenv("SEMTAG_CASCADE_BUDGET");
+      env != nullptr && *env != '\0') {
+    double pts = 0.0;
+    if (ParseDouble(env, &pts)) config.cascade_budget = pts;
+  }
   config.seed = seed;
   return config;
 }
 
 std::string ShardConfig::Describe() const {
-  return StrFormat("threads=%d;simd=%s;deep_batch=%d;quant=%d;seed=%" PRIu64,
-                   num_threads, simd.c_str(), deep_batch, quant, seed);
+  // %.17g round-trips the budget exactly, so Parse(Describe()) == *this.
+  return StrFormat("threads=%d;simd=%s;deep_batch=%d;quant=%d;cascade=%s;"
+                   "cascade_budget=%.17g;seed=%" PRIu64,
+                   num_threads, simd.c_str(), deep_batch, quant,
+                   cascade.c_str(), cascade_budget, seed);
 }
 
 bool ShardConfig::Parse(const std::string& text, ShardConfig* out) {
@@ -547,6 +559,7 @@ bool ShardConfig::Parse(const std::string& text, ShardConfig* out) {
     const std::string key = field.substr(0, eq);
     const std::string value = field.substr(eq + 1);
     int64_t n = 0;
+    double d = 0.0;
     if (key == "threads" && ParseInt64(value, &n)) {
       config.num_threads = static_cast<int>(n);
       have[0] = true;
@@ -559,6 +572,12 @@ bool ShardConfig::Parse(const std::string& text, ShardConfig* out) {
     } else if (key == "quant" && ParseInt64(value, &n)) {
       config.quant = static_cast<int>(n);
       have[3] = true;
+    } else if (key == "cascade" && !value.empty()) {
+      // Optional: pre-cascade stamps lack it; the default ("auto") then
+      // matches Current() in an environment with the knob unset.
+      config.cascade = value;
+    } else if (key == "cascade_budget" && ParseDouble(value, &d)) {
+      config.cascade_budget = d;
     } else if (key == "seed" && ParseInt64(value, &n) && n >= 0) {
       config.seed = static_cast<uint64_t>(n);
       have[4] = true;
@@ -581,6 +600,9 @@ void ShardConfig::ApplyToEnv() const {
     unsetenv("SEMTAG_DEEP_BATCH");
   }
   setenv("SEMTAG_QUANT", quant != 0 ? "1" : "0", 1);
+  setenv("SEMTAG_CASCADE", cascade.c_str(), 1);
+  setenv("SEMTAG_CASCADE_BUDGET", StrFormat("%.17g", cascade_budget).c_str(),
+         1);
 #endif
 }
 

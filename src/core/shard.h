@@ -32,6 +32,12 @@ struct ShardConfig {
   std::string simd;      // dispatched kernel tier (SEMTAG_SIMD)
   int deep_batch = 0;    // SEMTAG_DEEP_BATCH cap; 0 = model-chosen
   int quant = 0;         // SEMTAG_QUANT routing (0/1)
+  /// SEMTAG_CASCADE pair policy ("auto" when unset) and the F1-point
+  /// accuracy budget — cascade cells' escalation sets depend on both, so
+  /// the stamp pins them like any other determinism knob. Absent from
+  /// pre-cascade stamps; Parse defaults them.
+  std::string cascade = "auto";
+  double cascade_budget = 0.5;  // SEMTAG_CASCADE_BUDGET
   uint64_t seed = 0;     // base seed forwarded to every cell
 
   /// The calling process's resolved config.
@@ -42,7 +48,8 @@ struct ShardConfig {
   /// Parses a Describe() string; false on malformed input.
   static bool Parse(const std::string& text, ShardConfig* out);
   /// Pins this config into the environment (SEMTAG_NUM_THREADS, _SIMD,
-  /// _DEEP_BATCH, _QUANT) so spawned workers resolve identical values.
+  /// _DEEP_BATCH, _QUANT, _CASCADE, _CASCADE_BUDGET) so spawned workers
+  /// resolve identical values.
   void ApplyToEnv() const;
 
   bool operator==(const ShardConfig&) const = default;

@@ -36,6 +36,8 @@ const char* ModelKindName(ModelKind kind) {
       return "LR+eb";
     case ModelKind::kSvmEmbedding:
       return "SVM+eb";
+    case ModelKind::kCascade:
+      return "CASCADE";
   }
   return "?";
 }
@@ -47,7 +49,7 @@ Result<ModelKind> ModelKindFromName(const std::string& name) {
       ModelKind::kBert,        ModelKind::kNaiveBayes,
       ModelKind::kXgboost,     ModelKind::kAlbert,
       ModelKind::kRoberta,     ModelKind::kLrEmbedding,
-      ModelKind::kSvmEmbedding};
+      ModelKind::kSvmEmbedding, ModelKind::kCascade};
   for (ModelKind kind : kAll) {
     if (name == ModelKindName(kind)) return kind;
   }
@@ -65,6 +67,14 @@ bool IsDeep(ModelKind kind) {
     default:
       return false;
   }
+}
+
+namespace {
+MetaModelFactory g_meta_factory = nullptr;
+}  // namespace
+
+void SetMetaModelFactory(MetaModelFactory factory) {
+  g_meta_factory = factory;
 }
 
 std::unique_ptr<TaggingModel> CreateModelSeeded(ModelKind kind,
@@ -125,6 +135,9 @@ std::unique_ptr<TaggingModel> CreateModelSeeded(ModelKind kind,
       return std::make_unique<EmbeddingLinearModel>(
           "SVM+eb", &GetPretrainedBackbone(BertVariant::kBert), options);
     }
+    case ModelKind::kCascade:
+      return g_meta_factory != nullptr ? g_meta_factory(kind, seed)
+                                       : nullptr;
   }
   return nullptr;
 }

@@ -24,6 +24,7 @@ enum class ModelKind {
   kRoberta,
   kLrEmbedding,   // LR + pretrained [CLS] embeddings (Table 6)
   kSvmEmbedding,  // SVM + pretrained [CLS] embeddings
+  kCascade,       // confidence-gated simple->deep cascade (core/cascade.h)
 };
 
 /// Display name, e.g. "LR", "BERT", "LR+eb".
@@ -46,6 +47,15 @@ std::unique_ptr<TaggingModel> CreateModelSeeded(ModelKind kind,
 
 /// The five representative models of the main study, in paper order.
 const std::vector<ModelKind>& RepresentativeModels();
+
+/// Hook through which layers above models/ provide meta-model kinds the
+/// factory cannot construct itself (the cascade lives in core/, which
+/// links models/ — not the other way round). core/cascade.cc installs its
+/// creator via EnsureCascadeRegistered(); until then CreateModel(kCascade)
+/// returns nullptr.
+using MetaModelFactory = std::unique_ptr<TaggingModel> (*)(ModelKind kind,
+                                                           uint64_t seed);
+void SetMetaModelFactory(MetaModelFactory factory);
 
 }  // namespace semtag::models
 

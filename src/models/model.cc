@@ -1,6 +1,7 @@
 #include "models/model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.h"
@@ -29,6 +30,22 @@ size_t EffectiveDeepBatch(size_t wanted) {
   size_t batch = std::max<size_t>(1, wanted);
   if (limit >= 1) batch = std::min(batch, static_cast<size_t>(limit));
   return batch;
+}
+
+double TaggingModel::ProbabilityFromScore(double score) const {
+  const double boundary = DecisionThreshold();
+  if (boundary == 0.5) {
+    // Probabilistic family: Score() is already P(y=1).
+    return std::clamp(score, 0.0, 1.0);
+  }
+  // Margin family: unit-slope Platt-style squash centred on the boundary.
+  // No fitted slope/offset — the cascade thresholds on *rank*, which any
+  // strictly monotone squash preserves.
+  return 1.0 / (1.0 + std::exp(-(score - boundary)));
+}
+
+double TaggingModel::MarginFromScore(double score) const {
+  return std::abs(2.0 * ProbabilityFromScore(score) - 1.0);
 }
 
 std::vector<double> TaggingModel::ScoreBatch(

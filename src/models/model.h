@@ -55,6 +55,35 @@ class TaggingModel {
     return Score(text) >= DecisionThreshold() ? 1 : 0;
   }
 
+  /// Maps a raw Score() value onto one probability scale, P(y=1):
+  ///  - probabilistic families (DecisionThreshold() == 0.5: NB's log-odds
+  ///    sigmoid, LR's sigmoid, GBDT, the deep softmax heads) are already
+  ///    probabilities and pass through clamped to [0, 1];
+  ///  - margin families (any other boundary: SVM's signed hyperplane
+  ///    distance, the hinge embedding hybrids, the rule tagger) go through
+  ///    a unit-slope Platt-style squash centred on the boundary,
+  ///    sigmoid(score - DecisionThreshold()).
+  /// Strictly monotone in `score` for every family and preserves the
+  /// decision: ProbabilityFromScore(s) >= 0.5 iff s >= DecisionThreshold().
+  double ProbabilityFromScore(double score) const;
+
+  /// P(y=1 | text) on the unified scale: ProbabilityFromScore(Score(text)).
+  double Probability(std::string_view text) const {
+    return ProbabilityFromScore(Score(text));
+  }
+
+  /// Confidence margin in [0, 1] from a raw score: |2p - 1| where
+  /// p = ProbabilityFromScore(score). 0 at the decision boundary (maximally
+  /// uncertain), 1 at certainty — the quantity the confidence-gated
+  /// cascade (core/cascade.h) thresholds on. Comparable across model
+  /// families because the probability scale is.
+  double MarginFromScore(double score) const;
+
+  /// MarginFromScore(Score(text)).
+  double Margin(std::string_view text) const {
+    return MarginFromScore(Score(text));
+  }
+
   /// Scores a batch of texts. The base implementation loops Score(); deep
   /// models override it to run the whole batch through one stacked forward
   /// pass. Must return exactly texts.size() scores, element i scoring
@@ -63,7 +92,12 @@ class TaggingModel {
   virtual std::vector<double> ScoreBatch(
       std::span<const std::string> texts) const;
 
-  std::vector<double> ScoreAll(const std::vector<std::string>& texts) const;
+  /// Scores every text, in parallel on the global pool with deterministic
+  /// (thread-count-invariant) results. Virtual so meta-models that route
+  /// different examples through different sub-models (core/cascade.h) can
+  /// keep the whole-corpus view the batching needs.
+  virtual std::vector<double> ScoreAll(
+      const std::vector<std::string>& texts) const;
   std::vector<int> PredictAll(const std::vector<std::string>& texts) const;
 
   /// Wall-clock seconds of the last Train() call.

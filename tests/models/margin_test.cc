@@ -1,0 +1,150 @@
+// Unified probability/margin scale (model.h ProbabilityFromScore): every
+// family maps its raw Score() onto one P(y=1) scale — probabilistic
+// families pass through clamped, margin families (SVM's hyperplane
+// distance, the rule tagger) get a unit-slope Platt squash centred on
+// their decision boundary. The contract under test, per family:
+//  * strictly monotone in the score (no confidence inversions),
+//  * range [0, 1],
+//  * decision-preserving: p >= 0.5 iff score >= DecisionThreshold(),
+//  * margin |2p - 1| in [0, 1], 0 exactly at the boundary, symmetric.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/specs.h"
+#include "models/factory.h"
+#include "models/model.h"
+#include "models/simple/linear_svm.h"
+#include "models/simple/logistic_regression.h"
+#include "models/simple/naive_bayes.h"
+
+namespace semtag::models {
+namespace {
+
+/// Scores straddling every family's boundary: margins in [-6, 6],
+/// probabilities in [0, 1] (out-of-range raw values clamp).
+std::vector<double> ScoreGrid(double boundary) {
+  std::vector<double> grid;
+  for (int i = -24; i <= 24; ++i) grid.push_back(boundary + i * 0.25);
+  return grid;
+}
+
+void ExpectUnifiedScaleContract(const TaggingModel& model) {
+  const double boundary = model.DecisionThreshold();
+  const std::vector<double> grid = ScoreGrid(boundary);
+  double prev = -1.0;
+  for (double score : grid) {
+    const double p = model.ProbabilityFromScore(score);
+    EXPECT_GE(p, 0.0) << model.name() << " score " << score;
+    EXPECT_LE(p, 1.0) << model.name() << " score " << score;
+    // Monotone (strictly, except where the pass-through clamps).
+    EXPECT_GE(p, prev) << model.name() << " score " << score;
+    if (boundary != 0.5 || (score > 0.0 && score < 1.0)) {
+      EXPECT_GT(p, prev) << model.name() << " not strict at " << score;
+    }
+    prev = p;
+    // Decision preservation.
+    EXPECT_EQ(p >= 0.5, score >= boundary)
+        << model.name() << " decision flipped at score " << score;
+    // Margin range and consistency with the probability.
+    const double margin = model.MarginFromScore(score);
+    EXPECT_GE(margin, 0.0) << model.name();
+    EXPECT_LE(margin, 1.0) << model.name();
+    EXPECT_DOUBLE_EQ(margin, std::abs(2.0 * p - 1.0)) << model.name();
+  }
+  // Exactly at the boundary: maximally uncertain.
+  EXPECT_DOUBLE_EQ(model.ProbabilityFromScore(boundary), 0.5)
+      << model.name();
+  EXPECT_DOUBLE_EQ(model.MarginFromScore(boundary), 0.0) << model.name();
+  // Symmetric about the boundary.
+  for (double d : {0.1, 0.5, 2.0}) {
+    if (boundary == 0.5 && d > 0.5) continue;  // outside the [0,1] domain
+    EXPECT_NEAR(model.MarginFromScore(boundary + d),
+                model.MarginFromScore(boundary - d), 1e-12)
+        << model.name() << " asymmetric at +/-" << d;
+  }
+}
+
+TEST(MarginTest, ProbabilisticFamiliesPassThroughClamped) {
+  // NB and LR already emit P(y=1); the unified scale must not distort it.
+  for (ModelKind kind : {ModelKind::kNaiveBayes, ModelKind::kLr,
+                         ModelKind::kXgboost}) {
+    auto model = CreateModelSeeded(kind, 1);
+    ASSERT_NE(model, nullptr);
+    ASSERT_EQ(model->DecisionThreshold(), 0.5) << ModelKindName(kind);
+    EXPECT_DOUBLE_EQ(model->ProbabilityFromScore(0.3), 0.3);
+    EXPECT_DOUBLE_EQ(model->ProbabilityFromScore(0.99), 0.99);
+    EXPECT_DOUBLE_EQ(model->ProbabilityFromScore(-0.2), 0.0);  // clamped
+    EXPECT_DOUBLE_EQ(model->ProbabilityFromScore(1.7), 1.0);   // clamped
+    ExpectUnifiedScaleContract(*model);
+  }
+}
+
+TEST(MarginTest, MarginFamiliesGetPlattSquash) {
+  LinearSvm svm;
+  ASSERT_EQ(svm.DecisionThreshold(), 0.0);
+  // sigmoid(score - 0): 0.5 at the hyperplane, saturating either side.
+  EXPECT_DOUBLE_EQ(svm.ProbabilityFromScore(0.0), 0.5);
+  EXPECT_NEAR(svm.ProbabilityFromScore(2.0), 1.0 / (1.0 + std::exp(-2.0)),
+              1e-12);
+  EXPECT_GT(svm.ProbabilityFromScore(6.0), 0.99);
+  EXPECT_LT(svm.ProbabilityFromScore(-6.0), 0.01);
+  ExpectUnifiedScaleContract(svm);
+}
+
+data::Dataset MarginDataset(int n, uint64_t seed) {
+  data::GeneratorConfig config;
+  config.bg_vocab = 1500;
+  config.signal_topic = 30;
+  config.positive_topics = {31, 32};
+  config.negative_topics = {33, 34};
+  config.signal_strength = 0.4;
+  config.seed = seed;
+  return data::GenerateDataset(data::SharedLanguage(), config, "margin", n,
+                               0.5);
+}
+
+TEST(MarginTest, TrainedModelsAgreeAcrossScoreAndTextPaths) {
+  data::Dataset d = MarginDataset(300, 61);
+  auto [train, test] = d.Split(0.8);
+  for (ModelKind kind :
+       {ModelKind::kNaiveBayes, ModelKind::kLr, ModelKind::kSvm}) {
+    auto model = CreateModelSeeded(kind, 2);
+    ASSERT_TRUE(model->Train(train).ok()) << ModelKindName(kind);
+    for (const auto& text : test.Texts()) {
+      const double score = model->Score(text);
+      EXPECT_DOUBLE_EQ(model->Probability(text),
+                       model->ProbabilityFromScore(score))
+          << ModelKindName(kind);
+      EXPECT_DOUBLE_EQ(model->Margin(text), model->MarginFromScore(score))
+          << ModelKindName(kind);
+      // Predict() and the probability boundary agree on every example.
+      EXPECT_EQ(model->Predict(text), model->Probability(text) >= 0.5)
+          << ModelKindName(kind);
+    }
+  }
+}
+
+TEST(MarginTest, MarginsSeparateConfidentFromBoundaryExamples) {
+  // On separable data a trained LR puts higher margins on examples it
+  // scores away from 0.5 — the property the cascade's threshold relies on.
+  data::Dataset d = MarginDataset(400, 62);
+  auto [train, test] = d.Split(0.8);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Train(train).ok());
+  double confident = 0.0, total = 0.0;
+  for (const auto& text : test.Texts()) {
+    total += 1.0;
+    confident += lr.Margin(text) > 0.5;
+  }
+  EXPECT_GT(confident / total, 0.5)
+      << "trained LR should be confident on most separable examples";
+}
+
+}  // namespace
+}  // namespace semtag::models

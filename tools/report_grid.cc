@@ -8,6 +8,8 @@
 //                                    #   snapshot (SEMTAG_METRICS output)
 //   report_grid --shard <file>       # per-worker breakdown of a sharded
 //                                    #   sweep's merged.metrics.json
+//   report_grid --cascade <file>     # cost/accuracy frontier tables from
+//                                    #   a BENCH_cascade.json
 
 #include <cstdio>
 #include <cstring>
@@ -157,6 +159,80 @@ int SummarizeShard(const char* path) {
   return 0;
 }
 
+/// Renders a cascade_frontier JSON: one summary line per cell, then each
+/// cell's calibration frontier as a threshold / escalation % / F1-delta /
+/// estimated-speedup table. The speedup estimate at a frontier point uses
+/// the measured per-tier costs: deep_us / (simple_us + e * deep_us) — the
+/// chosen threshold's row should match the cell's measured speedup.
+int SummarizeCascade(const char* path) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  obs::JsonValue root;
+  std::string err;
+  if (!obs::ParseJson(*content, &root, &err)) {
+    std::fprintf(stderr, "%s: %s\n", path, err.c_str());
+    return 1;
+  }
+  const obs::JsonValue* cells = root.Find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    std::fprintf(stderr, "%s: no \"cells\" array (not a BENCH_cascade "
+                 "file?)\n", path);
+    return 1;
+  }
+  const auto num = [](const obs::JsonValue& v, const char* key) {
+    const obs::JsonValue* f = v.Find(key);
+    return f != nullptr && f->is_number() ? f->number : 0.0;
+  };
+  const auto str = [](const obs::JsonValue& v, const char* key) {
+    const obs::JsonValue* f = v.Find(key);
+    return f != nullptr && f->is_string() ? f->string_value
+                                          : std::string("?");
+  };
+  std::printf("cascade frontier (%s, budget %.2f F1 pts)\n\n", path,
+              num(root, "budget_pts"));
+  std::printf("%-9s %-10s %10s %10s %8s %8s %8s\n", "Dataset", "pair",
+              "threshold", "escalated", "dF1 pts", "speedup", "deep F1");
+  for (const auto& cell : cells->array) {
+    const double threshold = num(cell, "threshold");
+    std::printf("%-9s %-10s %10s %9.1f%% %8.2f %7.2fx %8.3f\n",
+                str(cell, "dataset").c_str(), str(cell, "pair").c_str(),
+                threshold < 0 ? "never"
+                              : StrFormat("%.4f", threshold).c_str(),
+                100 * num(cell, "escalation_fraction"),
+                num(cell, "f1_delta_pts"), num(cell, "speedup"),
+                num(cell, "f1_deep"));
+  }
+  for (const auto& cell : cells->array) {
+    const obs::JsonValue* frontier = cell.Find("frontier");
+    if (frontier == nullptr || !frontier->is_array() ||
+        frontier->array.empty()) {
+      continue;
+    }
+    const double f1_deep = num(cell, "f1_deep");
+    const double simple_us = num(cell, "simple_us_per_text");
+    const double deep_us = num(cell, "deep_us_per_text");
+    std::printf("\n%s frontier (holdout):\n", str(cell, "dataset").c_str());
+    std::printf("  %10s %10s %8s %10s\n", "threshold", "escalated",
+                "dF1 pts", "est spd");
+    for (const auto& p : frontier->array) {
+      const double e = num(p, "escalation");
+      const double threshold = num(p, "threshold");
+      const std::string speedup =
+          simple_us > 0 && deep_us > 0
+              ? StrFormat("%9.2fx", deep_us / (simple_us + e * deep_us))
+              : std::string("         -");
+      std::printf("  %10s %9.1f%% %8.2f %s\n",
+                  threshold < 0 ? "never"
+                                : StrFormat("%.4f", threshold).c_str(),
+                  100 * e, (f1_deep - num(p, "f1")) * 100, speedup.c_str());
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
   if (argc >= 3 && std::strcmp(argv[1], "--metrics") == 0) {
@@ -164,6 +240,9 @@ int Main(int argc, char** argv) {
   }
   if (argc >= 3 && std::strcmp(argv[1], "--shard") == 0) {
     return SummarizeShard(argv[2]);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--cascade") == 0) {
+    return SummarizeCascade(argv[2]);
   }
   const std::string path = models::CacheDir() + "/results.csv";
   auto content = ReadFileToString(path);
