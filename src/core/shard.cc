@@ -21,6 +21,7 @@
 #include "common/fault.h"
 #include "common/file_io.h"
 #include "common/logging.h"
+#include "common/signal.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -815,8 +816,22 @@ ShardReport RunShardedGrid(const std::vector<GridCell>& cells,
     return shard;
   }
 
+  // Graceful interrupt: a SIGINT/SIGTERM to the coordinator used to kill
+  // it outright, orphaning the worker processes mid-cell. The shared
+  // self-pipe helper (common/signal.h, also the serve daemon's drain
+  // trigger) turns it into a clean stop: break out, SIGTERM the workers,
+  // and merge whatever the journal holds. Exec'd workers reset to default
+  // handlers, so they still die promptly on the coordinator's SIGTERM.
+  ShutdownSignal& shutdown = ShutdownSignal::Install();
   bool complete = false;
   for (;;) {
+    if (shutdown.requested()) {
+      shard.error =
+          StrFormat("interrupted by signal %d", shutdown.signal());
+      SEMTAG_LOG(kWarning, "coordinator %s; terminating %zu workers",
+                 shard.error.c_str(), live.size());
+      break;
+    }
     // Reap exits without blocking; a worker that died by signal or
     // non-zero status counts as abnormal (its leases expire and get
     // reclaimed — nothing to clean up here).

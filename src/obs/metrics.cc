@@ -344,6 +344,15 @@ const std::vector<double>& DepthBuckets() {
   return *b;
 }
 
+const std::vector<double>& ServeLatencyBucketsUs() {
+  static const std::vector<double>* b = new std::vector<double>{
+      10,    15,    22,    33,    50,    75,    110,   160,   240,
+      360,   540,   810,   1200,  1800,  2700,  4000,  6000,  9000,
+      13500, 20000, 30000, 45000, 67500, 1e5,   1.5e5, 2.2e5, 3.3e5,
+      5e5,   7.5e5, 1e6,   1e7};
+  return *b;
+}
+
 bool RegisterCollector(void (*fn)()) {
   Registry& reg = GetRegistry();
   std::lock_guard<std::mutex> lock(reg.mu);

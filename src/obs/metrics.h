@@ -154,6 +154,12 @@ const std::vector<double>& LatencyBucketsUs();   // 1us .. 60s, log-spaced
 const std::vector<double>& LatencyBucketsMs();   // 0.1ms .. 600s
 const std::vector<double>& LossBuckets();        // 1e-4 .. 100
 const std::vector<double>& DepthBuckets();       // queue depths 0 .. 4096
+/// Serving-latency preset: ~1.5x geometric steps from 10us to 1s plus a
+/// 10s tail. The epoch/cell-scale presets above step 2-2.5x per bucket, so
+/// an online daemon's 100us..10ms request latencies collapse into one or
+/// two buckets and p50/p99 read off the histogram are meaningless; this
+/// grid resolves percentiles to ~±25% across the whole SLO range.
+const std::vector<double>& ServeLatencyBucketsUs();  // 10us .. 10s, fine
 
 /// Snapshot collectors: callbacks run at the start of every snapshot so
 /// subsystems with their own counters (e.g. la::BufferPool) can publish

@@ -1,0 +1,190 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace semtag::serve {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  int64_t v = 0;
+  if (!ParseInt64(env, &v)) {
+    SEMTAG_LOG(kWarning, "%s: not an integer: %s (using %d)", name, env,
+               fallback);
+    return fallback;
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+BatchingOptions BatchingOptions::Resolved() const {
+  BatchingOptions r = *this;
+  r.batch_cap = std::max(r.batch_cap, 1);
+  r.deadline_us = std::max(r.deadline_us, 0);
+  r.queue_cap = std::max(r.queue_cap, 1);
+  return r;
+}
+
+BatchingOptions BatchingOptionsFromEnv() {
+  BatchingOptions options;
+  options.batch_cap = EnvInt("SEMTAG_SERVE_BATCH_CAP", options.batch_cap);
+  options.deadline_us =
+      EnvInt("SEMTAG_SERVE_DEADLINE_US", options.deadline_us);
+  options.queue_cap = EnvInt("SEMTAG_SERVE_QUEUE_CAP", options.queue_cap);
+  return options.Resolved();
+}
+
+Batcher::Batcher(const ModelRegistry* registry, TrafficStats* stats,
+                 BatchingOptions options)
+    : registry_(registry), stats_(stats), options_(options.Resolved()) {}
+
+Batcher::~Batcher() { Stop(); }
+
+void Batcher::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { RunScheduler(); });
+}
+
+bool Batcher::Submit(std::string text, ScoreCallback done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ ||
+        queue_.size() >= static_cast<size_t>(options_.queue_cap)) {
+      ++shed_;
+      SEMTAG_OBS_COUNT("serve/requests_shed", 1);
+      return false;
+    }
+    queue_.push_back(Pending{std::move(text), std::move(done),
+                             std::chrono::steady_clock::now()});
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void Batcher::Stop() {
+  std::thread joinee;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    joinee = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (joinee.joinable()) joinee.join();
+}
+
+size_t Batcher::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t Batcher::BatchCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+uint64_t Batcher::ShedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+std::deque<Batcher::Pending> Batcher::TakeBatchLocked() {
+  std::deque<Pending> batch;
+  const size_t n =
+      std::min(queue_.size(), static_cast<size_t>(options_.batch_cap));
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void Batcher::RunScheduler() {
+  const auto deadline = std::chrono::microseconds(options_.deadline_us);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Sleep until work arrives. A deadline with an empty queue is a
+    // non-event: nothing is armed until a request exists, so the thread
+    // burns zero CPU while idle.
+    cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+    if (queue_.empty()) {
+      if (draining_) return;
+      continue;  // spurious wake
+    }
+    // Work exists: collect until the batch is full or the OLDEST request
+    // has waited out the deadline. Draining skips the wait — shutdown
+    // flushes partial batches immediately.
+    const auto flush_at = queue_.front().enqueued + deadline;
+    while (!draining_ &&
+           queue_.size() < static_cast<size_t>(options_.batch_cap)) {
+      if (cv_.wait_until(lock, flush_at) == std::cv_status::timeout) break;
+    }
+    if (queue_.empty()) continue;  // raced a concurrent flush (none today)
+    SEMTAG_OBS_OBSERVE("serve/queue_depth_at_flush", obs::DepthBuckets(),
+                       static_cast<double>(queue_.size()));
+    std::deque<Pending> batch = TakeBatchLocked();
+    ++batches_;
+    lock.unlock();
+    ScoreBatch(std::move(batch));
+    lock.lock();
+    // Loop; on drain keep flushing until the queue is empty, then exit.
+    if (draining_ && queue_.empty()) return;
+  }
+}
+
+void Batcher::ScoreBatch(std::deque<Pending> batch) {
+  obs::TraceSpan span("serve/batch");
+  std::vector<std::string> texts;
+  texts.reserve(batch.size());
+  for (const Pending& p : batch) texts.push_back(p.text);
+
+  const std::shared_ptr<const ServableModel> servable =
+      registry_ == nullptr ? nullptr : registry_->Acquire();
+  WallTimer timer;
+  std::vector<double> scores;
+  if (servable != nullptr && servable->model != nullptr) {
+    scores = servable->model->ScoreAll(texts);
+  }
+  const double batch_us = timer.ElapsedSeconds() * 1e6;
+
+  SEMTAG_OBS_COUNT("serve/batches", 1);
+  SEMTAG_OBS_OBSERVE("serve/batch_size", obs::DepthBuckets(),
+                     static_cast<double>(batch.size()));
+  SEMTAG_OBS_OBSERVE("serve/batch_score_us", obs::ServeLatencyBucketsUs(),
+                     batch_us);
+
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ScoredRequest result;
+    if (i < scores.size()) {
+      result.score = scores[i];
+      result.probability =
+          servable->model->ProbabilityFromScore(scores[i]);
+      result.model_version = servable->version;
+    }
+    if (stats_ != nullptr) {
+      stats_->Record(batch[i].text.size(), result.probability);
+    }
+    SEMTAG_OBS_COUNT("serve/requests_scored", 1);
+    using WaitUs = std::chrono::duration<double, std::micro>;
+    const double wait_us = WaitUs(now - batch[i].enqueued).count();
+    SEMTAG_OBS_OBSERVE("serve/queue_wait_us", obs::ServeLatencyBucketsUs(),
+                       wait_us);
+    if (batch[i].done) batch[i].done(result);
+  }
+  if (stats_ != nullptr) stats_->PublishGauges();
+}
+
+}  // namespace semtag::serve

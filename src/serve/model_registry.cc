@@ -1,0 +1,237 @@
+#include "serve/model_registry.h"
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/file_io.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/cascade.h"
+#include "data/specs.h"
+#include "models/factory.h"
+#include "models/simple/linear_svm.h"
+#include "models/simple/logistic_regression.h"
+#include "obs/metrics.h"
+
+namespace semtag::serve {
+namespace {
+
+constexpr const char kSpecMagic[] = "semtag-model-spec-v1";
+
+/// Parses "S+D" / "auto" / "simple" into CascadeOptions (mirrors
+/// SEMTAG_CASCADE semantics; the spec file pins the pair explicitly so a
+/// swap is reproducible whatever the daemon's environment).
+Status ApplyCascadeField(const std::string& field, double budget_pts,
+                         uint64_t seed, core::CascadeOptions* options) {
+  *options = core::CascadeOptions{};
+  options->budget_pts = budget_pts;
+  options->seed = seed;
+  if (field.empty() || field == "auto") return Status::OK();
+  if (field == "simple") {
+    options->force_simple_only = true;
+    return Status::OK();
+  }
+  const size_t plus = field.rfind('+');
+  if (plus == std::string::npos || plus == 0 || plus + 1 == field.size()) {
+    return Status::InvalidArgument("bad cascade pair: " + field);
+  }
+  auto simple = models::ModelKindFromName(field.substr(0, plus));
+  auto deep = models::ModelKindFromName(field.substr(plus + 1));
+  if (!simple.ok()) return simple.status();
+  if (!deep.ok()) return deep.status();
+  options->simple = simple.ValueOrDie();
+  options->deep = deep.ValueOrDie();
+  options->auto_pair = false;
+  options->allow_simple_only = false;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteModelSpecFile(const std::string& path, const ModelSpec& spec) {
+  std::string body;
+  body += kSpecMagic;
+  body += '\n';
+  body += "model " + spec.model + "\n";
+  if (!spec.dataset.empty()) body += "dataset " + spec.dataset + "\n";
+  if (!spec.file.empty()) body += "file " + spec.file + "\n";
+  if (spec.records > 0) body += StrFormat("records %d\n", spec.records);
+  body += StrFormat("seed %llu\n",
+                    static_cast<unsigned long long>(spec.seed));
+  if (!spec.cascade.empty()) body += "cascade " + spec.cascade + "\n";
+  body += StrFormat("budget %.17g\n", spec.budget_pts);
+  body += StrFormat("crc %08x\n", Crc32(body));
+  return WriteFileAtomic(path, body);
+}
+
+Result<ModelSpec> LoadModelSpecFile(const std::string& path) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  const std::string& text = *content;
+  // The seal is the last non-empty line: "crc <%08x>" over every byte
+  // before it.
+  const size_t crc_pos = text.rfind("crc ");
+  const auto corrupt = [&](const std::string& reason) -> Status {
+    (void)QuarantineFile(path, reason);
+    return Status::InvalidArgument("model spec " + path + ": " + reason);
+  };
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    return corrupt("missing crc seal");
+  }
+  const std::string crc_line =
+      text.substr(crc_pos, text.find('\n', crc_pos) - crc_pos);
+  uint32_t want = 0;
+  {
+    const std::vector<std::string> parts = Split(crc_line, ' ');
+    char* end = nullptr;
+    const unsigned long v =
+        parts.size() == 2 ? std::strtoul(parts[1].c_str(), &end, 16) : 0;
+    if (parts.size() != 2 || end == nullptr || *end != '\0' ||
+        parts[1].empty() || v > UINT32_MAX) {
+      return corrupt("unparseable crc seal");
+    }
+    want = static_cast<uint32_t>(v);
+  }
+  const uint32_t got = Crc32(text.substr(0, crc_pos));
+  if (want != got) {
+    return corrupt(StrFormat("crc mismatch (want %08x got %08x)", want, got));
+  }
+  // The seal held, so the content is exactly what the writer wrote; any
+  // remaining problem is a semantic error in a well-formed file — report
+  // it without quarantining (the file is not corrupt).
+  const auto invalid = [&](const std::string& reason) -> Status {
+    return Status::InvalidArgument("model spec " + path + ": " + reason);
+  };
+  ModelSpec spec;
+  bool saw_magic = false;
+  for (const std::string& line : Split(text.substr(0, crc_pos), '\n')) {
+    if (line.empty()) continue;
+    if (!saw_magic) {
+      if (line != kSpecMagic) return corrupt("bad magic: " + line);
+      saw_magic = true;
+      continue;
+    }
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) return invalid("bad line: " + line);
+    const std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    int64_t n = 0;
+    if (key == "model") {
+      spec.model = value;
+    } else if (key == "dataset") {
+      spec.dataset = value;
+    } else if (key == "file") {
+      spec.file = value;
+    } else if (key == "records" && ParseInt64(value, &n)) {
+      spec.records = static_cast<int>(n);
+    } else if (key == "seed" && ParseInt64(value, &n) && n >= 0) {
+      spec.seed = static_cast<uint64_t>(n);
+    } else if (key == "cascade") {
+      spec.cascade = value;
+    } else if (key == "budget") {
+      if (!ParseDouble(value, &spec.budget_pts)) {
+        return invalid("bad budget: " + value);
+      }
+    } else {
+      return invalid("unknown key: " + key);
+    }
+  }
+  if (!saw_magic) return corrupt("empty spec");
+  if (spec.dataset.empty() == spec.file.empty()) {
+    return invalid("exactly one of dataset/file required");
+  }
+  return spec;
+}
+
+Result<std::unique_ptr<models::TaggingModel>> BuildModelFromSpec(
+    const ModelSpec& spec) {
+  if (!spec.file.empty()) {
+    // Persisted checkpoints (semtag train --out): the simple families the
+    // paper recommends for production retraining loops.
+    if (spec.model == "LR") {
+      auto loaded = models::LogisticRegression::Load(spec.file);
+      if (!loaded.ok()) return loaded.status();
+      return std::unique_ptr<models::TaggingModel>(
+          new models::LogisticRegression(std::move(loaded).ValueOrDie()));
+    }
+    if (spec.model == "SVM") {
+      auto loaded = models::LinearSvm::Load(spec.file);
+      if (!loaded.ok()) return loaded.status();
+      return std::unique_ptr<models::TaggingModel>(
+          new models::LinearSvm(std::move(loaded).ValueOrDie()));
+    }
+    return Status::InvalidArgument(
+        "file specs support LR and SVM checkpoints, not " + spec.model);
+  }
+  auto dataset_spec = data::FindSpec(spec.dataset);
+  if (!dataset_spec.ok()) return dataset_spec.status();
+  data::DatasetSpec ds = std::move(dataset_spec).ValueOrDie();
+  if (spec.records > 0) ds.scaled_records = spec.records;
+  data::Dataset dataset = data::BuildDataset(ds);
+  auto [train, test] = dataset.Split(ds.train_fraction);
+  train.set_name(ds.name);
+
+  std::unique_ptr<models::TaggingModel> model;
+  if (spec.model == "CASCADE") {
+    core::CascadeOptions options;
+    const Status st =
+        ApplyCascadeField(spec.cascade, spec.budget_pts, spec.seed, &options);
+    if (!st.ok()) return st;
+    model = std::make_unique<core::Cascade>(options);
+  } else {
+    auto kind = models::ModelKindFromName(spec.model);
+    if (!kind.ok()) return kind.status();
+    model = models::CreateModelSeeded(kind.ValueOrDie(), spec.seed);
+    if (model == nullptr) {
+      return Status::Internal("factory returned null for " + spec.model);
+    }
+  }
+  const Status st = model->Train(train);
+  if (!st.ok()) return st;
+  return model;
+}
+
+uint64_t ModelRegistry::Install(std::unique_ptr<models::TaggingModel> model,
+                                std::string source) {
+  auto servable = std::make_shared<ServableModel>();
+  servable->version = next_version_.fetch_add(1);
+  servable->model = std::move(model);
+  servable->source = std::move(source);
+  const uint64_t version = servable->version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::shared_ptr<const ServableModel>(std::move(servable));
+  }
+  SEMTAG_OBS_COUNT("serve/model_swaps", 1);
+  SEMTAG_OBS_GAUGE_SET("serve/model_version", static_cast<double>(version));
+  return version;
+}
+
+Result<uint64_t> ModelRegistry::SwapFromSpecFile(const std::string& path) {
+  auto spec = LoadModelSpecFile(path);
+  if (!spec.ok()) return spec.status();
+  auto model = BuildModelFromSpec(*spec);
+  if (!model.ok()) return model.status();
+  const std::string source = StrFormat(
+      "%s (spec %s)", spec->model.c_str(), path.c_str());
+  const uint64_t version =
+      Install(std::move(model).ValueOrDie(), source);
+  SEMTAG_LOG(kInfo, "hot-swapped model -> v%llu: %s",
+             static_cast<unsigned long long>(version), source.c_str());
+  return version;
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t ModelRegistry::version() const {
+  const auto current = Acquire();
+  return current == nullptr ? 0 : current->version;
+}
+
+}  // namespace semtag::serve

@@ -1,0 +1,98 @@
+#ifndef SEMTAG_SERVE_MODEL_REGISTRY_H_
+#define SEMTAG_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "models/model.h"
+
+namespace semtag::serve {
+
+/// What a model-spec file asks the daemon to serve. Exactly one of
+/// `dataset` (train from a synthetic spec) or `file` (load a persisted
+/// LR/SVM checkpoint from `semtag train`) must be set.
+struct ModelSpec {
+  std::string model = "CASCADE";  // models::ModelKindName
+  std::string dataset;            // data::FindSpec name, e.g. "HETER"
+  std::string file;               // saved LR/SVM model path
+  int records = 0;                // > 0 overrides spec.scaled_records
+  uint64_t seed = 0;
+  /// Cascade pair pin: "auto", "simple", or "<S>+<D>" (split at the last
+  /// '+'). Empty means auto. Ignored for non-CASCADE models.
+  std::string cascade;
+  double budget_pts = 0.5;  // cascade calibration budget
+};
+
+/// Writes `spec` as a CRC-sealed text file via the crash-safe
+/// temp+fsync+rename path (common/file_io.h): the last line is
+/// "crc <%08x>" over every preceding byte, and a reader never observes a
+/// partial file — the swap protocol's integrity half.
+Status WriteModelSpecFile(const std::string& path, const ModelSpec& spec);
+
+/// Parses a spec file back, verifying the CRC seal. A truncated or
+/// bit-flipped file is quarantined to "<path>.corrupt" and the previous
+/// model keeps serving.
+Result<ModelSpec> LoadModelSpecFile(const std::string& path);
+
+/// An immutable trained model plus its registry version. Batches hold a
+/// shared_ptr to one of these for their whole scoring pass, so a hot-swap
+/// never pulls a model out from under an in-flight batch.
+struct ServableModel {
+  std::unique_ptr<models::TaggingModel> model;
+  uint64_t version = 0;
+  std::string source;  // human-readable provenance for /stats and logs
+};
+
+/// Builds (trains or loads) the model a spec describes. Training uses the
+/// named synthetic dataset spec's train split at `spec.seed` — the same
+/// data path the offline grid uses, so a served model is bit-identical to
+/// its offline twin.
+Result<std::unique_ptr<models::TaggingModel>> BuildModelFromSpec(
+    const ModelSpec& spec);
+
+/// Holds the currently-served model behind a mutex-guarded shared_ptr.
+/// (Not std::atomic<shared_ptr>: libstdc++'s _Sp_atomic releases its
+/// embedded spinlock with a relaxed RMW, which TSan flags as a race on
+/// the pointer word. A plain mutex whose critical section is a pointer
+/// copy is just as cheap at once-per-batch frequency and verifiably
+/// clean under the repo's TSan lane.)
+///
+/// Hot-swap protocol (DESIGN.md "Serving architecture"):
+///  1. the operator writes a CRC-sealed spec file (atomic rename);
+///  2. a kSwap request names the file; the registry re-reads and verifies
+///     it (corrupt -> quarantine, old model keeps serving);
+///  3. the replacement trains/loads off the event loop;
+///  4. publication is a pointer flip under the mutex. Readers (batches)
+///     that already hold the old shared_ptr finish on the old model; the
+///     next batch sees the new one. No lock is ever held while scoring —
+///     Acquire copies the pointer and releases the mutex immediately.
+class ModelRegistry {
+ public:
+  /// Installs a ready model as the next version. Returns that version.
+  uint64_t Install(std::unique_ptr<models::TaggingModel> model,
+                   std::string source);
+
+  /// Loads + verifies the spec file, builds the model, and flips it in.
+  /// On any failure the current model keeps serving.
+  Result<uint64_t> SwapFromSpecFile(const std::string& path);
+
+  /// The current model, or nullptr before the first Install. Holders keep
+  /// the returned model alive across swaps.
+  std::shared_ptr<const ServableModel> Acquire() const;
+
+  /// Version of the current model (0 before the first Install).
+  uint64_t version() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServableModel> current_;  // guarded by mu_
+  std::atomic<uint64_t> next_version_{1};
+};
+
+}  // namespace semtag::serve
+
+#endif  // SEMTAG_SERVE_MODEL_REGISTRY_H_

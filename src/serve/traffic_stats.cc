@@ -1,0 +1,57 @@
+#include "serve/traffic_stats.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace semtag::serve {
+
+TrafficStats::TrafficStats(size_t window)
+    : ring_(std::max<size_t>(window, 1)) {}
+
+void TrafficStats::Record(size_t text_bytes, double probability) {
+  const uint32_t bytes =
+      static_cast<uint32_t>(std::min<size_t>(text_bytes, UINT32_MAX));
+  const uint8_t positive = probability >= 0.5 ? 1 : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = ring_[next_];
+  if (window_count_ == ring_.size()) {
+    // Window full: the slot we are about to overwrite leaves the window.
+    window_bytes_ -= slot.bytes;
+    window_positives_ -= slot.positive;
+  } else {
+    ++window_count_;
+  }
+  slot.bytes = bytes;
+  slot.positive = positive;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+  window_bytes_ += bytes;
+  window_positives_ += positive;
+}
+
+TrafficSnapshot TrafficStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TrafficSnapshot snapshot;
+  snapshot.total = total_;
+  snapshot.window = window_count_;
+  if (window_count_ > 0) {
+    snapshot.positive_ratio =
+        static_cast<double>(window_positives_) / window_count_;
+    snapshot.mean_length =
+        static_cast<double>(window_bytes_) / window_count_;
+  }
+  return snapshot;
+}
+
+void TrafficStats::PublishGauges() const {
+  if (!obs::MetricsEnabled()) return;
+  const TrafficSnapshot snapshot = Snapshot();
+  SEMTAG_OBS_GAUGE_SET("serve/traffic/window_count",
+                       static_cast<double>(snapshot.window));
+  SEMTAG_OBS_GAUGE_SET("serve/traffic/positive_ratio",
+                       snapshot.positive_ratio);
+  SEMTAG_OBS_GAUGE_SET("serve/traffic/mean_length", snapshot.mean_length);
+}
+
+}  // namespace semtag::serve

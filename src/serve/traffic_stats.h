@@ -1,0 +1,64 @@
+#ifndef SEMTAG_SERVE_TRAFFIC_STATS_H_
+#define SEMTAG_SERVE_TRAFFIC_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace semtag::serve {
+
+/// Point-in-time view of the traffic window.
+struct TrafficSnapshot {
+  uint64_t total = 0;        // requests observed since construction
+  uint64_t window = 0;       // requests currently in the sliding window
+  double positive_ratio = 0.0;  // fraction with P(y=1) >= 0.5 (window)
+  double mean_length = 0.0;     // mean text bytes (window)
+};
+
+/// Streaming dataset profiler over the live request stream: the first
+/// slice of the ROADMAP's "online dataset profiler" follow-up to PR 8.
+///
+/// Keeps O(1)-update sliding-window estimators of exactly the dataset
+/// characteristics the cascade planner keys on — arrival count, positive
+/// ratio (on the unified probability scale, so it is comparable across
+/// model families), and mean text length (the generator's length knob) —
+/// so a later PR can re-plan the simple/deep pair as traffic shifts away
+/// from the distribution the cascade was calibrated on. Exported as obs
+/// gauges (serve/traffic/*) by PublishGauges() after every scored batch.
+///
+/// Implementation: a ring of the last `window` observations with running
+/// sums — updates and snapshots are O(1), memory is 9 bytes/slot.
+/// Thread-safe (one mutex; callers are the batcher thread and the event
+/// loop's kStats handler, so contention is nil).
+class TrafficStats {
+ public:
+  explicit TrafficStats(size_t window = 1024);
+
+  /// Records one completed request: its text length in bytes and its
+  /// unified-scale probability.
+  void Record(size_t text_bytes, double probability);
+
+  TrafficSnapshot Snapshot() const;
+
+  /// Sets the serve/traffic/{window_count,positive_ratio,mean_length}
+  /// gauges from the current window (no-op while metrics are disabled).
+  void PublishGauges() const;
+
+ private:
+  struct Slot {
+    uint32_t bytes = 0;
+    uint8_t positive = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Slot> ring_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+  uint64_t window_count_ = 0;
+  uint64_t window_bytes_ = 0;
+  uint64_t window_positives_ = 0;
+};
+
+}  // namespace semtag::serve
+
+#endif  // SEMTAG_SERVE_TRAFFIC_STATS_H_

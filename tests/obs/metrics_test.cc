@@ -210,5 +210,22 @@ TEST_F(MetricsTest, HandleObsFlagParsesBothFlags) {
   SetMetricsExportPath(saved_path);
 }
 
+TEST(BucketPresetTest, ServeLatencyBucketsResolveSloPercentiles) {
+  const std::vector<double>& buckets = ServeLatencyBucketsUs();
+  ASSERT_GE(buckets.size(), 24u);
+  EXPECT_DOUBLE_EQ(buckets.front(), 10.0);   // 10us floor
+  EXPECT_DOUBLE_EQ(buckets.back(), 1e7);     // 10s tail
+  // Strictly ascending, and fine-grained across the whole SLO range
+  // (10us..1s): adjacent bounds within ~1.6x so a percentile read off the
+  // histogram is within ±25% of the true value.
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    ASSERT_LT(buckets[i - 1], buckets[i]) << "bucket " << i;
+    if (buckets[i] <= 1e6) {
+      EXPECT_LE(buckets[i] / buckets[i - 1], 1.6)
+          << "gap too coarse at bucket " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace semtag::obs
