@@ -26,8 +26,10 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "data/specs.h"
 #include "obs/metrics.h"
 #include "serve/model_registry.h"
+#include "serve/replanner.h"
 #include "serve/server.h"
 
 namespace semtag {
@@ -52,6 +54,9 @@ int Usage() {
       "  --deadline-us N    $SEMTAG_SERVE_DEADLINE_US (default 1000)\n"
       "  --queue-cap N      $SEMTAG_SERVE_QUEUE_CAP (default 1024)\n"
       "  --max-conns N      connection limit (default 1024)\n"
+      "  --replan           enable online re-planning ($SEMTAG_REPLAN;\n"
+      "                     tune with SEMTAG_REPLAN_EPOCH/WINDOW/\n"
+      "                     HYSTERESIS/DIRTY/PROFILE/PAIR/BUDGET/DIR)\n"
       "  --metrics[=path]   arm the obs registry / export snapshot\n"
       "  --trace[=path]     arm tracing / export spans\n");
   return 2;
@@ -156,7 +161,38 @@ int Main(int argc, char** argv) {
   options.batching = options.batching.Resolved();
   options.watch_signals = true;
 
+  // ---- online re-planning ----
+  // Base options inherit the initial model's provenance (dataset, record
+  // override, seed, budget), so every re-planned spec retrains from the
+  // same corpus the daemon started on; SEMTAG_REPLAN_* env then overrides.
+  serve::ReplanOptions replan_base;
+  replan_base.dataset = spec.dataset;
+  replan_base.records = spec.records;
+  replan_base.cascade.seed = spec.seed;
+  replan_base.cascade.budget_pts = spec.budget_pts;
+  options.replan = serve::ReplanOptionsFromEnv(replan_base);
+  if (flags.count("replan") > 0) options.replan.enabled = true;
+  if (options.replan.enabled && spec.dataset.empty()) {
+    SEMTAG_LOG(kWarning,
+               "replan disabled: the initial model was loaded from a file "
+               "checkpoint, so there is no dataset spec to retrain from");
+    options.replan.enabled = false;
+  }
+
   serve::Server server(&registry, options);
+  if (options.replan.enabled) {
+    // Seed the cleanliness proxy's reference vocabulary from the training
+    // corpus, so OOV/churn measure drift away from what the served model
+    // actually learned (not away from the first traffic epoch).
+    auto ds = data::FindSpec(spec.dataset);
+    if (ds.ok()) {
+      data::DatasetSpec d = std::move(ds).ValueOrDie();
+      if (spec.records > 0) d.scaled_records = spec.records;
+      data::Dataset dataset = data::BuildDataset(d);
+      auto [train, test] = dataset.Split(d.train_fraction);
+      server.traffic_stats().SeedReferenceFromTexts(train.Texts());
+    }
+  }
   const Status st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());

@@ -89,6 +89,14 @@ CascadeOptions CascadeOptionsFromEnv(uint64_t seed) {
 CascadePlan PlanCascade(const DatasetProfile& profile,
                         const std::vector<HeatMapRow>& reference,
                         const CascadeOptions& options) {
+  return PlanCascadeBiased(profile, reference, options, nullptr, 0.0);
+}
+
+CascadePlan PlanCascadeBiased(const DatasetProfile& profile,
+                              const std::vector<HeatMapRow>& reference,
+                              const CascadeOptions& options,
+                              const CascadePlan* incumbent,
+                              double margin_pts) {
   CascadePlan plan;
   plan.simple = options.simple;
   plan.deep = options.deep;
@@ -107,8 +115,18 @@ CascadePlan PlanCascade(const DatasetProfile& profile,
     plan.simple = profile.labels_clean ? models::ModelKind::kSvm
                                        : models::ModelKind::kLr;
   }
-  if (options.allow_simple_only &&
-      point.svm_f1 + BudgetAsF1(options.budget_pts) >= point.bert_f1) {
+  // The simple model wins the cell when its expected F1 plus the accuracy
+  // budget reaches the deep one's: edge >= 0. The incumbent bias shifts
+  // that boundary by margin_pts so a profile straddling the edge cannot
+  // flap the decision.
+  const double edge =
+      point.svm_f1 + BudgetAsF1(options.budget_pts) - point.bert_f1;
+  double bias = 0.0;
+  if (incumbent != nullptr && margin_pts > 0.0) {
+    bias = incumbent->simple_only ? -BudgetAsF1(margin_pts)
+                                  : BudgetAsF1(margin_pts);
+  }
+  if (options.allow_simple_only && edge >= bias) {
     plan.simple_only = true;
     plan.rationale = StrFormat(
         "heat-map cell favours simple (expected simple F1 %.2f vs deep "
@@ -122,6 +140,12 @@ CascadePlan PlanCascade(const DatasetProfile& profile,
       point.bert_f1, point.svm_f1, models::ModelKindName(plan.simple),
       models::ModelKindName(plan.deep), options.budget_pts);
   return plan;
+}
+
+std::string CascadePairName(const CascadePlan& plan) {
+  if (plan.simple_only) return "simple";
+  return StrFormat("%s+%s", models::ModelKindName(plan.simple),
+                   models::ModelKindName(plan.deep));
 }
 
 CascadeCalibration CalibrateCascadeThreshold(

@@ -68,6 +68,27 @@ CascadePlan PlanCascade(const DatasetProfile& profile,
                         const std::vector<HeatMapRow>& reference,
                         const CascadeOptions& options);
 
+/// PlanCascade with an incumbent bias: the margin half of the re-planner's
+/// hysteresis (DESIGN.md "Online re-planning"). `margin_pts` (F1 points)
+/// shifts the simple-only decision in the incumbent's favour — an
+/// incumbent cascade demands `margin_pts` of EXTRA simple advantage before
+/// degenerating, an incumbent simple-only tolerates a `margin_pts`
+/// shortfall before re-growing the deep tier — so a profile hovering on a
+/// heat-map cell edge keeps the pair it already has. With a null incumbent
+/// or zero margin this is exactly PlanCascade (pinned by tests).
+CascadePlan PlanCascadeBiased(const DatasetProfile& profile,
+                              const std::vector<HeatMapRow>& reference,
+                              const CascadeOptions& options,
+                              const CascadePlan* incumbent,
+                              double margin_pts);
+
+/// Canonical spec-file name of a plan's execution shape: "simple" for a
+/// degenerate plan, "<SIMPLE>+<DEEP>" otherwise. Round-trips through
+/// ModelSpec.cascade / SEMTAG_CASCADE, and is the identity the re-planner
+/// compares when deciding whether a profile shift actually changes the
+/// serving pair.
+std::string CascadePairName(const CascadePlan& plan);
+
 /// One point of the cost/accuracy frontier swept during calibration.
 struct FrontierPoint {
   double threshold = 0.0;            // margin threshold (escalate when <=)

@@ -353,6 +353,13 @@ const std::vector<double>& ServeLatencyBucketsUs() {
   return *b;
 }
 
+const std::vector<double>& UnitFractionBuckets() {
+  static const std::vector<double>* b = new std::vector<double>{
+      0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,  0.15, 0.2,  0.25,
+      0.3,   0.35,  0.4,   0.45, 0.5,  0.6,  0.7,  0.8,  0.9,  1.0};
+  return *b;
+}
+
 bool RegisterCollector(void (*fn)()) {
   Registry& reg = GetRegistry();
   std::lock_guard<std::mutex> lock(reg.mu);

@@ -160,6 +160,9 @@ const std::vector<double>& DepthBuckets();       // queue depths 0 .. 4096
 /// two buckets and p50/p99 read off the histogram are meaningless; this
 /// grid resolves percentiles to ~±25% across the whole SLO range.
 const std::vector<double>& ServeLatencyBucketsUs();  // 10us .. 10s, fine
+/// [0,1]-valued scores (dirtiness, OOV rate, escalation fraction): fine
+/// near 0 where clean traffic lives, 0.05 steps through the decision range.
+const std::vector<double>& UnitFractionBuckets();
 
 /// Snapshot collectors: callbacks run at the start of every snapshot so
 /// subsystems with their own counters (e.g. la::BufferPool) can publish

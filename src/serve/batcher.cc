@@ -10,6 +10,7 @@
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/replanner.h"
 
 namespace semtag::serve {
 namespace {
@@ -46,8 +47,11 @@ BatchingOptions BatchingOptionsFromEnv() {
 }
 
 Batcher::Batcher(const ModelRegistry* registry, TrafficStats* stats,
-                 BatchingOptions options)
-    : registry_(registry), stats_(stats), options_(options.Resolved()) {}
+                 BatchingOptions options, Replanner* replanner)
+    : registry_(registry),
+      stats_(stats),
+      replanner_(replanner),
+      options_(options.Resolved()) {}
 
 Batcher::~Batcher() { Stop(); }
 
@@ -175,7 +179,7 @@ void Batcher::ScoreBatch(std::deque<Pending> batch) {
       result.model_version = servable->version;
     }
     if (stats_ != nullptr) {
-      stats_->Record(batch[i].text.size(), result.probability);
+      stats_->Record(std::string_view(batch[i].text), result.probability);
     }
     SEMTAG_OBS_COUNT("serve/requests_scored", 1);
     using WaitUs = std::chrono::duration<double, std::micro>;
@@ -185,6 +189,10 @@ void Batcher::ScoreBatch(std::deque<Pending> batch) {
     if (batch[i].done) batch[i].done(result);
   }
   if (stats_ != nullptr) stats_->PublishGauges();
+  // Drive the re-planning loop from here: the detector only ever runs
+  // between batches on this thread, so a triggered synchronous swap can
+  // never split a batch across model versions.
+  if (replanner_ != nullptr) replanner_->Poll();
 }
 
 }  // namespace semtag::serve

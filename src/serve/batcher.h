@@ -15,6 +15,8 @@
 
 namespace semtag::serve {
 
+class Replanner;
+
 /// Knobs of the dynamic-batching scheduler, each with an env twin:
 ///   SEMTAG_SERVE_BATCH_CAP    max requests per batch          (32)
 ///   SEMTAG_SERVE_DEADLINE_US  max wait for a fuller batch     (1000)
@@ -66,9 +68,13 @@ using ScoreCallback = std::function<void(const ScoredRequest&)>;
 class Batcher {
  public:
   /// The registry must outlive the batcher. `stats` is optional (may be
-  /// null): completed requests are recorded into it.
+  /// null): completed requests are recorded into it. `replanner` is
+  /// optional: it is polled once after every scored batch, which is what
+  /// drives the online re-planning loop (serve/replanner.h) — epochs seal
+  /// on the batcher thread, so detector steps interleave with batches
+  /// deterministically.
   Batcher(const ModelRegistry* registry, TrafficStats* stats,
-          BatchingOptions options);
+          BatchingOptions options, Replanner* replanner = nullptr);
   ~Batcher();
 
   /// Starts the scheduler thread. Call once.
@@ -107,6 +113,7 @@ class Batcher {
 
   const ModelRegistry* registry_;
   TrafficStats* stats_;
+  Replanner* replanner_;
   const BatchingOptions options_;
 
   mutable std::mutex mu_;

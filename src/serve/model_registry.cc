@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/fault.h"
 #include "common/file_io.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -69,7 +70,10 @@ Status WriteModelSpecFile(const std::string& path, const ModelSpec& spec) {
 Result<ModelSpec> LoadModelSpecFile(const std::string& path) {
   auto content = ReadFileToString(path);
   if (!content.ok()) return content.status();
-  const std::string& text = *content;
+  std::string text = std::move(*content);
+  if (FaultInjected(FaultPoint::kReadCorrupt, path) && !text.empty()) {
+    text[text.size() / 2] ^= 0x40;  // injected bit-flip, caught by the CRC
+  }
   // The seal is the last non-empty line: "crc <%08x>" over every byte
   // before it.
   const size_t crc_pos = text.rfind("crc ");

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/signal.h"
 #include "common/string_util.h"
+#include "core/cascade.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -80,8 +81,14 @@ struct Server::Connection {
 Server::Server(ModelRegistry* registry, ServerOptions options)
     : registry_(registry),
       options_(options),
-      stats_(static_cast<size_t>(std::max(options.traffic_window, 1))),
-      batcher_(registry, &stats_, options.batching) {}
+      stats_(static_cast<size_t>(std::max(options.traffic_window, 1)),
+             options.replan.Resolved().epoch_records,
+             static_cast<size_t>(options.replan.Resolved().epoch_window)),
+      replanner_(options.replan.enabled
+                     ? std::make_unique<Replanner>(registry, &stats_,
+                                                   options.replan)
+                     : nullptr),
+      batcher_(registry, &stats_, options.batching, replanner_.get()) {}
 
 Server::~Server() { Stop(); }
 
@@ -92,22 +99,48 @@ ServerCounters Server::counters() const {
 
 std::string Server::StatsJson() const {
   const TrafficSnapshot traffic = stats_.Snapshot();
+  const TrafficProfile profile = stats_.Profile();
   const ServerCounters counters = this->counters();
+  // The served pair + threshold, so operators (and the replan tests) can
+  // watch the loop over the wire without guessing from the version number.
+  std::string pair = "none";
+  double threshold = 0.0;
+  if (const auto servable = registry_->Acquire();
+      servable != nullptr && servable->model != nullptr) {
+    if (const auto* cascade =
+            dynamic_cast<const core::Cascade*>(servable->model.get());
+        cascade != nullptr) {
+      pair = core::CascadePairName(cascade->plan());
+      threshold = cascade->threshold();
+    } else {
+      pair = servable->model->name();
+    }
+  }
+  const std::string replan =
+      replanner_ != nullptr ? replanner_->StateJson() : "{\"enabled\": false}";
   return StrFormat(
       "{\"version\": %llu, \"requests\": %llu, \"shed\": %llu, "
       "\"batches\": %llu, \"queue_depth\": %llu, "
-      "\"protocol_errors\": %llu, \"traffic\": {\"total\": %llu, "
+      "\"protocol_errors\": %llu, "
+      "\"model\": {\"pair\": \"%s\", \"threshold\": %.17g}, "
+      "\"traffic\": {\"total\": %llu, "
       "\"window\": %llu, \"positive_ratio\": %.6f, "
-      "\"mean_length\": %.2f}}",
+      "\"mean_length\": %.2f, \"epochs\": %llu, \"oov_rate\": %.6f, "
+      "\"vocab_churn\": %.6f, \"dirtiness\": %.6f}, "
+      "\"replan\": %s}",
       static_cast<unsigned long long>(registry_->version()),
       static_cast<unsigned long long>(counters.requests),
       static_cast<unsigned long long>(counters.shed),
       static_cast<unsigned long long>(batcher_.BatchCount()),
       static_cast<unsigned long long>(batcher_.QueueDepth()),
       static_cast<unsigned long long>(counters.protocol_errors),
+      pair.c_str(), threshold,
       static_cast<unsigned long long>(traffic.total),
       static_cast<unsigned long long>(traffic.window),
-      traffic.positive_ratio, traffic.mean_length);
+      traffic.positive_ratio, traffic.mean_length,
+      static_cast<unsigned long long>(profile.total_epochs),
+      profile.oov_rate, profile.vocab_churn, profile.dirtiness,
+      replan.c_str());
 }
 
 #ifndef __linux__
@@ -123,6 +156,7 @@ void Server::RunLoop() {}
 Status Server::Start() {
   if (started_) return Status::Internal("Start() called twice");
   started_ = true;
+  if (replanner_ != nullptr) replanner_->AdoptIncumbentFromRegistry();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return Status::Internal("socket() failed");

@@ -14,6 +14,7 @@
 #include "serve/batcher.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
+#include "serve/replanner.h"
 #include "serve/traffic_stats.h"
 
 namespace semtag::serve {
@@ -28,6 +29,10 @@ struct ServerOptions {
   int max_connections = 1024;
   /// TrafficStats sliding-window size.
   int traffic_window = 1024;
+  /// Online re-planning loop (serve/replanner.h). Its epoch geometry
+  /// (epoch_records/epoch_window) always shapes TrafficStats, so the
+  /// profile gauges work even with the loop disabled.
+  ReplanOptions replan;
   /// Watch the process ShutdownSignal self-pipe (common/signal.h) and
   /// drain gracefully on SIGINT/SIGTERM. The daemon sets this; tests
   /// drive Stop() directly instead.
@@ -82,6 +87,8 @@ class Server {
 
   ServerCounters counters() const;
   TrafficStats& traffic_stats() { return stats_; }
+  /// Null unless options.replan.enabled.
+  Replanner* replanner() { return replanner_.get(); }
 
   /// One-line JSON used by the kStats op and the drain log.
   std::string StatsJson() const;
@@ -110,6 +117,7 @@ class Server {
   ModelRegistry* registry_;
   const ServerOptions options_;
   TrafficStats stats_;
+  std::unique_ptr<Replanner> replanner_;  // before batcher_: polled by it
   Batcher batcher_;
 
   int listen_fd_ = -1;

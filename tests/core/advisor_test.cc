@@ -1,6 +1,11 @@
+#include <cmath>
+#include <iterator>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/advisor.h"
+#include "core/cascade.h"
 
 namespace semtag::core {
 namespace {
@@ -93,6 +98,152 @@ TEST(RenderHeatMapTest, PlainTextContainsAllDatasets) {
 TEST(RenderHeatMapTest, ColorModeEmitsAnsi) {
   const std::string rendered = RenderHeatMap(PaperHeatMap(), true);
   EXPECT_NE(rendered.find('\x1b'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// InterpolateHeatMap edges + the re-planner's biased planner
+// ---------------------------------------------------------------------------
+
+DatasetProfile MakeProfile(int64_t records, double ratio, bool clean) {
+  DatasetProfile profile;
+  profile.num_records = records;
+  profile.positive_ratio = ratio;
+  profile.labels_clean = clean;
+  return profile;
+}
+
+TEST(InterpolateTest, ExactCellIsDominatedByItsOwnRow) {
+  // A profile sitting exactly on a reference row (HETER: 1780 records,
+  // ratio 0.714, clean) gets distance ~0 to that row, whose 1/(d+eps)
+  // weight dwarfs the other neighbors.
+  const auto point = InterpolateHeatMap(MakeProfile(1780, 0.714, true),
+                                        PaperHeatMap());
+  ASSERT_FALSE(point.neighbors.empty());
+  EXPECT_EQ(point.neighbors[0], "HETER");
+  EXPECT_NEAR(point.bert_f1, 0.93, 0.01);
+  EXPECT_NEAR(point.svm_f1, 0.87, 0.01);
+}
+
+TEST(InterpolateTest, KIsClampedToTheReferenceSize) {
+  const auto profile = MakeProfile(1780, 0.714, true);
+  const auto all = InterpolateHeatMap(profile, PaperHeatMap(), /*k=*/50);
+  EXPECT_EQ(all.neighbors.size(), 21u) << "k beyond the table uses it all";
+  const auto one = InterpolateHeatMap(profile, PaperHeatMap(), /*k=*/0);
+  EXPECT_EQ(one.neighbors.size(), 1u) << "k<1 clamps up to one neighbor";
+  EXPECT_EQ(one.neighbors[0], "HETER");
+  // The single-neighbor estimate IS that row.
+  EXPECT_NEAR(one.bert_f1, 0.93, 1e-9);
+  EXPECT_NEAR(one.svm_f1, 0.87, 1e-9);
+}
+
+TEST(InterpolateTest, EmptyReferenceYieldsZeroPointNotACrash) {
+  const auto point = InterpolateHeatMap(MakeProfile(1000, 0.5, true),
+                                        std::vector<HeatMapRow>{});
+  EXPECT_TRUE(point.neighbors.empty());
+  EXPECT_EQ(point.bert_f1, 0.0);
+  EXPECT_EQ(point.svm_f1, 0.0);
+}
+
+TEST(InterpolateTest, DegenerateProfilesStayFinite) {
+  // Zero records (log-size edge) and ratio endpoints must interpolate to
+  // finite values inside the table's F1 range.
+  for (const auto& profile :
+       {MakeProfile(0, 0.0, true), MakeProfile(0, 1.0, false),
+        MakeProfile(1, 0.5, true)}) {
+    const auto point = InterpolateHeatMap(profile, PaperHeatMap());
+    EXPECT_TRUE(std::isfinite(point.bert_f1));
+    EXPECT_TRUE(std::isfinite(point.svm_f1));
+    EXPECT_GE(point.bert_f1, 0.0);
+    EXPECT_LE(point.bert_f1, 1.0);
+    EXPECT_GE(point.svm_f1, 0.0);
+    EXPECT_LE(point.svm_f1, 1.0);
+    EXPECT_EQ(point.neighbors.size(), 3u);
+  }
+}
+
+TEST(InterpolateTest, RepeatedCallsAreBitIdentical) {
+  const auto profile = MakeProfile(123456, 0.37, false);
+  const auto a = InterpolateHeatMap(profile, PaperHeatMap());
+  const auto b = InterpolateHeatMap(profile, PaperHeatMap());
+  EXPECT_EQ(a.bert_f1, b.bert_f1);
+  EXPECT_EQ(a.svm_f1, b.svm_f1);
+  EXPECT_EQ(a.neighbors, b.neighbors);
+}
+
+TEST(PlanCascadeBiasedTest, NullIncumbentIsExactlyPlanCascade) {
+  const CascadeOptions options;
+  for (const auto& profile :
+       {MakeProfile(560000, 0.5, true), MakeProfile(4750000, 0.3, false),
+        MakeProfile(1780, 0.714, true)}) {
+    const CascadePlan base =
+        PlanCascade(profile, PaperHeatMap(), options);
+    const CascadePlan biased = PlanCascadeBiased(
+        profile, PaperHeatMap(), options, nullptr, /*margin_pts=*/5.0);
+    EXPECT_EQ(base.simple, biased.simple);
+    EXPECT_EQ(base.deep, biased.deep);
+    EXPECT_EQ(base.simple_only, biased.simple_only);
+    EXPECT_EQ(base.expected_simple_f1, biased.expected_simple_f1);
+    EXPECT_EQ(base.expected_deep_f1, biased.expected_deep_f1);
+  }
+}
+
+TEST(PlanCascadeBiasedTest, MarginBiasTableAtCellEdges) {
+  // Two cells bracketing the simple-only edge (default 0.5-pt budget):
+  //   YELP  (560K, 0.5, clean): edge ~ +0.005 -- just past simple-only
+  //   HETER (1780, 0.714, clean): edge ~ -0.055 -- firmly cascade
+  // The margin must hold whichever incumbent already serves, and only a
+  // margin wider than the cell's edge distance may do so.
+  CascadePlan cascade_incumbent;
+  cascade_incumbent.simple_only = false;
+  CascadePlan simple_incumbent;
+  simple_incumbent.simple_only = true;
+
+  struct Case {
+    DatasetProfile profile;
+    const CascadePlan* incumbent;
+    double margin_pts;
+    bool want_simple_only;
+  };
+  const Case kCases[] = {
+      // YELP cell: unbiased verdict is simple-only...
+      {MakeProfile(560000, 0.5, true), nullptr, 0.0, true},
+      // ...a cascade incumbent with a 1-pt margin out-holds the 0.5-pt
+      // edge, but a 0.1-pt margin is too narrow;
+      {MakeProfile(560000, 0.5, true), &cascade_incumbent, 1.0, false},
+      {MakeProfile(560000, 0.5, true), &cascade_incumbent, 0.1, true},
+      // a simple incumbent trivially keeps a cell it already wins.
+      {MakeProfile(560000, 0.5, true), &simple_incumbent, 1.0, true},
+      // HETER cell: unbiased verdict is cascade...
+      {MakeProfile(1780, 0.714, true), nullptr, 0.0, false},
+      // ...a simple incumbent flips once the 5.5-pt shortfall exceeds a
+      // 2-pt margin, but a 10-pt margin tolerates it;
+      {MakeProfile(1780, 0.714, true), &simple_incumbent, 2.0, false},
+      {MakeProfile(1780, 0.714, true), &simple_incumbent, 10.0, true},
+      // a cascade incumbent trivially keeps a cell it already wins.
+      {MakeProfile(1780, 0.714, true), &cascade_incumbent, 2.0, false},
+  };
+  const CascadeOptions options;
+  for (size_t i = 0; i < std::size(kCases); ++i) {
+    const Case& c = kCases[i];
+    const CascadePlan plan = PlanCascadeBiased(
+        c.profile, PaperHeatMap(), options, c.incumbent, c.margin_pts);
+    EXPECT_EQ(plan.simple_only, c.want_simple_only)
+        << "case " << i << ": " << plan.rationale;
+  }
+}
+
+TEST(PlanCascadeBiasedTest, PairNameRoundTrips) {
+  CascadePlan plan;
+  plan.simple = models::ModelKind::kSvm;
+  plan.deep = models::ModelKind::kCnn;
+  plan.simple_only = false;
+  EXPECT_EQ(CascadePairName(plan), "SVM+CNN");
+  plan.simple_only = true;
+  EXPECT_EQ(CascadePairName(plan), "simple");
+  plan.simple_only = false;
+  plan.simple = models::ModelKind::kLr;
+  plan.deep = models::ModelKind::kBert;
+  EXPECT_EQ(CascadePairName(plan), "LR+BERT");
 }
 
 }  // namespace

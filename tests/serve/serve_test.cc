@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -24,6 +25,7 @@
 #include <unistd.h>
 
 #include "common/csv.h"
+#include "common/fault.h"
 #include "common/file_io.h"
 #include "common/string_util.h"
 #include "data/dataset.h"
@@ -229,6 +231,83 @@ TEST(ModelRegistryTest, SwapFromCheckpointSpecFile) {
   const auto servable = registry.Acquire();
   const std::string text = dataset[0].text;
   EXPECT_EQ(servable->model->Score(text), svm->Score(text));
+}
+
+// ---------------------------------------------------------------------------
+// Swap failure paths under fault injection (common/fault.h)
+// ---------------------------------------------------------------------------
+
+/// Clears armed faults on scope exit, whatever the test asserted.
+struct ScopedFaults {
+  explicit ScopedFaults(const std::string& spec) {
+    EXPECT_TRUE(SetFaultsFromSpec(spec).ok());
+  }
+  ~ScopedFaults() { ClearFaults(); }
+};
+
+TEST(SwapFaultTest, WriteFailSurfacesIoErrorAndLeavesNoSpecBehind) {
+  ModelSpec spec;
+  spec.model = "SVM";
+  spec.dataset = "HETER";
+  spec.records = 220;
+  const std::string path = TempPath("fault_write.spec");
+  // A prior run's success-path spec (written after the fault cleared)
+  // must not masquerade as a partial write.
+  std::remove(path.c_str());
+  {
+    ScopedFaults faults("write_fail:match=fault_write.spec");
+    const Status st = WriteModelSpecFile(path, spec);
+    EXPECT_FALSE(st.ok());
+    EXPECT_GE(FaultTriggerCount(FaultPoint::kWriteFail), 1);
+  }
+  // The atomic-write protocol failed before the rename: no partial spec
+  // file exists for a swapper to trip over.
+  EXPECT_FALSE(ReadFileToString(path).ok());
+
+  // With the fault cleared the identical call succeeds: nothing about the
+  // failure was sticky.
+  ASSERT_TRUE(WriteModelSpecFile(path, spec).ok());
+  EXPECT_TRUE(LoadModelSpecFile(path).ok());
+}
+
+TEST(SwapFaultTest, ReadCorruptSwapKeepsOldModelAndQuarantines) {
+  const data::Dataset dataset = TinyDataset();
+  ModelRegistry registry;
+  registry.Install(TrainedSvm(dataset), "initial");
+  const auto before = registry.Acquire();
+  const std::string text = dataset[0].text;
+  const double before_score = before->model->Score(text);
+
+  ModelSpec spec;
+  spec.model = "SVM";
+  spec.dataset = "HETER";
+  spec.records = 220;
+  const std::string path = TempPath("fault_read.spec");
+  ASSERT_TRUE(WriteModelSpecFile(path, spec).ok());
+
+  {
+    // Flip a byte in the freshly read spec content: the CRC seal must
+    // catch it, the swap must fail, and the old model must keep serving.
+    ScopedFaults faults("read_corrupt:match=fault_read.spec");
+    const auto swapped = registry.SwapFromSpecFile(path);
+    EXPECT_FALSE(swapped.ok());
+    EXPECT_GE(FaultTriggerCount(FaultPoint::kReadCorrupt), 1);
+  }
+  EXPECT_EQ(registry.version(), 1u) << "failed swap must not bump version";
+  const auto after = registry.Acquire();
+  EXPECT_EQ(after->model->Score(text), before_score)
+      << "old model must keep serving bit-identically";
+
+  // The poisoned file was quarantined aside, not left as a retry trap.
+  EXPECT_FALSE(ReadFileToString(path).ok());
+  EXPECT_TRUE(ReadFileToString(path + ".corrupt").ok())
+      << "quarantine must preserve the evidence";
+
+  // A clean rewrite swaps fine afterwards.
+  ASSERT_TRUE(WriteModelSpecFile(path, spec).ok());
+  const auto retried = registry.SwapFromSpecFile(path);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(*retried, 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -590,6 +669,62 @@ TEST(ServerTest, HotSwapOverTheWire) {
   const ServerCounters counters = server.counters();
   EXPECT_EQ(counters.swaps_ok, 1u);
   EXPECT_EQ(counters.swaps_failed, 1u);
+}
+
+TEST(ServerTest, SwapUnderReadCorruptFaultKeepsServingOldModel) {
+  const data::Dataset dataset = TinyDataset();
+  ModelRegistry registry;
+  registry.Install(TrainedSvm(dataset), "svm");
+  const auto servable = registry.Acquire();
+
+  auto replacement = TrainedSvm(dataset);
+  const std::string checkpoint = TempPath("e2e_fault_checkpoint.bin");
+  ASSERT_TRUE(static_cast<models::LinearSvm*>(replacement.get())
+                  ->Save(checkpoint)
+                  .ok());
+  ModelSpec spec;
+  spec.model = "SVM";
+  spec.file = checkpoint;
+  const std::string spec_path = TempPath("e2e_fault_swap.spec");
+  ASSERT_TRUE(WriteModelSpecFile(spec_path, spec).ok());
+
+  ServerOptions options;
+  options.batching.batch_cap = 1;
+  Server server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+
+  uint8_t tag = 0;
+  std::string payload;
+  {
+    // The daemon reads a bit-flipped spec: kSwap must answer kError, not
+    // crash, and scoring must continue on the old model/version.
+    ScopedFaults faults("read_corrupt:match=e2e_fault_swap.spec");
+    ASSERT_TRUE(
+        client.Send(static_cast<uint8_t>(Opcode::kSwap), spec_path));
+    ASSERT_TRUE(client.ReadFrame(&tag, &payload));
+    EXPECT_EQ(tag, static_cast<uint8_t>(StatusCode::kError));
+  }
+
+  ASSERT_TRUE(client.Send(static_cast<uint8_t>(Opcode::kScore),
+                          ScorePayload(9, dataset[0].text)));
+  ASSERT_TRUE(client.ReadFrame(&tag, &payload));
+  ASSERT_EQ(tag, static_cast<uint8_t>(StatusCode::kOk));
+  uint64_t ticket = 0;
+  uint64_t version = 0;
+  double score = 0.0;
+  ASSERT_TRUE(ParseScoreResponse(payload, &ticket, &version, &score));
+  EXPECT_EQ(version, 1u) << "failed swap must leave the version alone";
+  EXPECT_EQ(score, servable->model->Score(dataset[0].text));
+
+  server.Stop();
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.swaps_ok, 0u);
+  EXPECT_EQ(counters.swaps_failed, 1u);
+  // The poisoned spec was quarantined by the failed swap.
+  EXPECT_FALSE(ReadFileToString(spec_path).ok());
+  EXPECT_TRUE(ReadFileToString(spec_path + ".corrupt").ok());
 }
 
 TEST(ServerTest, ShedResponseWhenQueueFull) {
